@@ -1,0 +1,67 @@
+// Command soccluster runs the emulated 36-server cluster evaluation of
+// §V-A: Figs 12-14 (latency, cost, energy across Baseline / ScaleOut /
+// ScaleUp / SmartOClock) plus the power-constrained and
+// overclocking-constrained experiments.
+//
+// Usage:
+//
+//	soccluster [-minutes M] [-warmup M] [-seed S]
+//	           [-main] [-powerconstrained] [-occonstrained]
+//
+// With no experiment flag all three run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"smartoclock/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("soccluster: ")
+
+	minutes := flag.Int("minutes", 40, "emulated duration in minutes")
+	warmup := flag.Int("warmup", 8, "warmup minutes excluded from measurement")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	limitScale := flag.Float64("limitscale", 0.80, "rack limit scale for the power-constrained run")
+	runMain := flag.Bool("main", false, "run only Figs 12-14")
+	runPower := flag.Bool("powerconstrained", false, "run only the power-constrained comparison")
+	runOC := flag.Bool("occonstrained", false, "run only the overclocking-constrained comparison")
+	flag.Parse()
+
+	all := !*runMain && !*runPower && !*runOC
+	base := experiment.DefaultClusterConfig(experiment.SysSmartOClock)
+	base.Duration = time.Duration(*minutes) * time.Minute
+	base.Warmup = time.Duration(*warmup) * time.Minute
+	base.Seed = *seed
+
+	if *runMain || all {
+		fmt.Fprintf(os.Stderr, "soccluster: emulating %v across 4 systems...\n", base.Duration)
+		fig12, fig13, fig14, _, err := experiment.RunFig12To14(base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(fig12.Format())
+		fmt.Println(fig13.Format())
+		fmt.Println(fig14.Format())
+	}
+	if *runPower || all {
+		tbl, _, err := experiment.RunPowerConstrained(base, *limitScale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tbl.Format())
+	}
+	if *runOC || all {
+		tbl, err := experiment.RunOCConstrained(base, 0.6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tbl.Format())
+	}
+}

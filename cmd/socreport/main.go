@@ -1,0 +1,119 @@
+// Command socreport runs the complete reproduction sweep — every
+// characterization figure, the cluster emulation, the fleet simulation and
+// the ablations — and writes one markdown report.
+//
+// Usage:
+//
+//	socreport [-o report.md] [-fast] [-seed S]
+//
+// -fast shrinks every experiment for a quick end-to-end check (~30 s);
+// the default scales match EXPERIMENTS.md (a few minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"smartoclock/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("socreport: ")
+
+	out := flag.String("o", "", "output file (default stdout)")
+	fast := flag.Bool("fast", false, "reduced scales for a quick sweep")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	fleetCfg := experiment.DefaultFleetSimConfig()
+	fleetCfg.Seed = *seed
+	clusterCfg := experiment.DefaultClusterConfig(experiment.SysSmartOClock)
+	clusterCfg.Seed = *seed
+	fig5Racks, fig8Racks, fig15Racks := 40, 10, 30
+	if *fast {
+		fleetCfg.RacksPerClass = 1
+		fleetCfg.EvalDays = 1
+		clusterCfg.Duration = 10 * time.Minute
+		clusterCfg.Warmup = 2 * time.Minute
+		fig5Racks, fig8Racks, fig15Racks = 8, 4, 6
+	}
+
+	section := func(title string) {
+		fmt.Fprintf(w, "\n## %s\n\n", title)
+	}
+	table := func(tbl *experiment.Table, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "```\n%s```\n", tbl.Format())
+	}
+
+	fmt.Fprintf(w, "# SmartOClock reproduction report\n\ngenerated %s, seed %d\n",
+		time.Now().UTC().Format(time.RFC3339), *seed)
+
+	section("Characterization (§III)")
+	table(experiment.Fig1(), nil)
+	fig2, fig3 := experiment.Fig2And3()
+	table(fig2, nil)
+	table(fig3, nil)
+	table(experiment.Fig4(), nil)
+	table(experiment.Fig5(fig5Racks, *seed))
+	fig6, overFrac, err := experiment.Fig6(*seed)
+	table(fig6, err)
+	fmt.Fprintf(w, "Naive overclocking exceeds the limit %.1f%% of the time.\n", 100*overFrac)
+	table(experiment.Fig7(), nil)
+	table(experiment.Fig8(fig8Racks, *seed))
+	table(experiment.Fig9(*seed))
+
+	section("Cluster emulation (§V-A)")
+	log.Print("running the cluster emulation (4 systems)...")
+	fig12, fig13, fig14, _, err := experiment.RunFig12To14(clusterCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table(fig12, nil)
+	table(fig13, nil)
+	table(fig14, nil)
+	pc, _, err := experiment.RunPowerConstrained(clusterCfg, 0.80)
+	table(pc, err)
+	oc, err := experiment.RunOCConstrained(clusterCfg, 0.6)
+	table(oc, err)
+
+	section("Fleet simulation (§V-B)")
+	log.Print("running the fleet simulation (5 systems x 3 classes)...")
+	t1, _, err := experiment.RunTable1(fleetCfg)
+	table(t1, err)
+	table(experiment.Fig15(fig15Racks, *seed))
+
+	section("Production services (§V-C)")
+	table(experiment.Fig16(), nil)
+	fig17, reduction := experiment.Fig17()
+	table(fig17, nil)
+	fmt.Fprintf(w, "Overclocking reduces Service C's 5-minute peaks by %.0f%%.\n", 100*reduction)
+
+	section("Ablations")
+	log.Print("running the ablations...")
+	table(experiment.RunAblationTemplates(fleetCfg))
+	table(experiment.RunAblationExploreStep(fleetCfg))
+	table(experiment.RunAblationWarnThreshold(fleetCfg))
+	table(experiment.RunDatacenterRebalance(fleetCfg))
+
+	if *out != "" {
+		log.Printf("wrote %s", *out)
+	}
+}

@@ -1,0 +1,78 @@
+// Command socsim runs the large-scale trace-driven simulation of §V-B:
+// Table I (SmartOClock vs Central / NaiveOClock / NoFeedback / NoWarning
+// across High/Medium/Low-power clusters) and Fig 15 (power prediction
+// strategies).
+//
+// Usage:
+//
+//	socsim [-racks N] [-traindays D] [-evaldays D] [-seed S] [-table1] [-fig15]
+//
+// With no experiment flag both experiments run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"smartoclock/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("socsim: ")
+
+	racks := flag.Int("racks", 6, "racks per power class for Table I")
+	trainDays := flag.Int("traindays", 7, "trace days used to fit templates")
+	evalDays := flag.Int("evaldays", 5, "simulated days with the agents running")
+	seed := flag.Int64("seed", 1, "deterministic generation seed")
+	fig15Racks := flag.Int("fig15racks", 30, "racks for the Fig 15 prediction study")
+	runTable1 := flag.Bool("table1", false, "run only Table I")
+	runFig15 := flag.Bool("fig15", false, "run only Fig 15")
+	runAblations := flag.Bool("ablations", false, "run only the design-choice ablations")
+	flag.Parse()
+
+	all := !*runTable1 && !*runFig15 && !*runAblations
+
+	if *runTable1 || all {
+		cfg := experiment.DefaultFleetSimConfig()
+		cfg.RacksPerClass = *racks
+		cfg.TrainDays = *trainDays
+		cfg.EvalDays = *evalDays
+		cfg.Seed = *seed
+		fmt.Fprintf(os.Stderr, "socsim: simulating %d racks/class, %d train + %d eval days...\n",
+			cfg.RacksPerClass, cfg.TrainDays, cfg.EvalDays)
+		tbl, _, err := experiment.RunTable1(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tbl.Format())
+	}
+	if *runFig15 || all {
+		tbl, err := experiment.Fig15(*fig15Racks, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tbl.Format())
+	}
+	if *runAblations || all {
+		cfg := experiment.DefaultFleetSimConfig()
+		cfg.RacksPerClass = *racks
+		cfg.TrainDays = *trainDays
+		cfg.EvalDays = *evalDays
+		cfg.Seed = *seed
+		for _, run := range []func(experiment.FleetSimConfig) (*experiment.Table, error){
+			experiment.RunAblationTemplates,
+			experiment.RunAblationExploreStep,
+			experiment.RunAblationWarnThreshold,
+			experiment.RunDatacenterRebalance,
+		} {
+			tbl, err := run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(tbl.Format())
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command soctrace generates synthetic production traces and prints the
+// characterization figures of §III: Fig 1 (service load patterns), Fig 5
+// (rack power utilization CDF), Fig 6 (rack power vs limit ± overclock),
+// Fig 7 (CPU aging policies), Fig 8 (prediction RMSE CDF) and Fig 9
+// (per-server heterogeneity), plus Figs 2-4 and 16-17 (workload
+// characterizations).
+//
+// It can also export a generated rack trace as JSON for external analysis:
+//
+//	soctrace -export rack.json [-days D] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"smartoclock/internal/experiment"
+	"smartoclock/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("soctrace: ")
+
+	seed := flag.Int64("seed", 1, "deterministic generation seed")
+	racks := flag.Int("racks", 40, "racks for fleet-level figures")
+	days := flag.Int("days", 14, "trace days for -export")
+	export := flag.String("export", "", "write one generated rack trace as JSON to this file and exit")
+	flag.Parse()
+
+	if *export != "" {
+		start := time.Date(2023, 4, 10, 0, 0, 0, 0, time.UTC)
+		cfg := trace.DefaultRackGenConfig("export", start, time.Duration(*days)*24*time.Hour)
+		rack, err := trace.GenRack(cfg, rand.New(rand.NewSource(*seed)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*export)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := trace.WriteRackJSON(f, rack); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s (%d servers, %d days)", *export, len(rack.Servers), *days)
+		return
+	}
+
+	fmt.Println(experiment.Fig1().Format())
+	fig2, fig3 := experiment.Fig2And3()
+	fmt.Println(fig2.Format())
+	fmt.Println(fig3.Format())
+	fmt.Println(experiment.Fig4().Format())
+
+	fig5, err := experiment.Fig5(*racks, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig5.Format())
+
+	fig6, overFrac, err := experiment.Fig6(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig6.Format())
+	fmt.Printf("Naive overclocking exceeds the limit %.1f%% of the time.\n\n", 100*overFrac)
+
+	fmt.Println(experiment.Fig7().Format())
+
+	fig8, err := experiment.Fig8(max(*racks/4, 4), *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig8.Format())
+
+	fig9, err := experiment.Fig9(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig9.Format())
+
+	fmt.Println(experiment.Fig16().Format())
+	fig17, reduction := experiment.Fig17()
+	fmt.Println(fig17.Format())
+	fmt.Printf("Overclocking reduces Service C's 5-minute peaks by %.0f%%.\n", 100*reduction)
+	fmt.Printf("Overclocking lets Service A VMs serve %.0f%% additional load (paper: 25%%).\n",
+		100*experiment.ServiceAExtraLoad())
+}

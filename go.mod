@@ -1,0 +1,3 @@
+module smartoclock
+
+go 1.22

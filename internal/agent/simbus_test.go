@@ -1,0 +1,50 @@
+package agent
+
+import (
+	"testing"
+	"time"
+
+	"smartoclock/internal/sim"
+)
+
+// TestBusWithSimulatedLatency wires the bus's Defer hook to the
+// discrete-event engine, modelling network latency between agents: sends
+// are delivered 50 simulated milliseconds later, in order.
+func TestBusWithSimulatedLatency(t *testing.T) {
+	start := time.Date(2023, 4, 10, 0, 0, 0, 0, time.UTC)
+	engine := sim.NewEngine(start, 1)
+	b := NewBus()
+	b.Defer = func(deliver func()) {
+		engine.After(50*time.Millisecond, deliver)
+	}
+
+	var deliveredAt []time.Time
+	b.Register("goa", func(m Message) {
+		deliveredAt = append(deliveredAt, engine.Now())
+	})
+
+	// Two sOAs report at different simulated instants.
+	engine.After(time.Second, func() {
+		msg, _ := NewMessage("soa.profile", "soa-1", "goa", nil)
+		if err := b.Send(msg); err != nil {
+			t.Error(err)
+		}
+	})
+	engine.After(2*time.Second, func() {
+		msg, _ := NewMessage("soa.profile", "soa-2", "goa", nil)
+		if err := b.Send(msg); err != nil {
+			t.Error(err)
+		}
+	})
+	engine.RunAll()
+
+	if len(deliveredAt) != 2 {
+		t.Fatalf("delivered %d messages", len(deliveredAt))
+	}
+	if !deliveredAt[0].Equal(start.Add(time.Second + 50*time.Millisecond)) {
+		t.Fatalf("first delivery at %v", deliveredAt[0])
+	}
+	if !deliveredAt[1].Equal(start.Add(2*time.Second + 50*time.Millisecond)) {
+		t.Fatalf("second delivery at %v", deliveredAt[1])
+	}
+}

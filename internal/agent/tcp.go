@@ -1,0 +1,209 @@
+package agent
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCPNode is a networked agent endpoint: it listens for line-delimited JSON
+// messages and dials peers on demand. Connections to peers are cached and
+// re-established on failure. All methods are safe for concurrent use.
+type TCPNode struct {
+	name string
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	peers    map[string]string   // agent name -> address
+	conns    map[string]net.Conn // address -> cached outbound connection
+	accepted map[net.Conn]bool   // inbound connections, closed on shutdown
+	listener net.Listener
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewTCPNode starts a node listening on addr (use "127.0.0.1:0" to pick a
+// free port). The node's own agents are attached with Register.
+func NewTCPNode(name, addr string) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("agent: listen %s: %w", addr, err)
+	}
+	n := &TCPNode{
+		name:     name,
+		handlers: make(map[string]Handler),
+		peers:    make(map[string]string),
+		conns:    make(map[string]net.Conn),
+		accepted: make(map[net.Conn]bool),
+		listener: ln,
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Name returns the node's name.
+func (n *TCPNode) Name() string { return n.name }
+
+// Addr returns the node's listen address.
+func (n *TCPNode) Addr() string { return n.listener.Addr().String() }
+
+// AddPeer maps an agent name to the node address hosting it. Multiple agent
+// names may map to the same address.
+func (n *TCPNode) AddPeer(agentName, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[agentName] = addr
+}
+
+// Register implements Transport for agents hosted on this node.
+func (n *TCPNode) Register(name string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[name] = h
+}
+
+// Send implements Transport: local recipients are delivered directly,
+// remote ones over TCP using the peer table.
+func (n *TCPNode) Send(msg Message) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return errors.New("agent: node closed")
+	}
+	if h, ok := n.handlers[msg.To]; ok {
+		n.mu.Unlock()
+		h(msg)
+		return nil
+	}
+	addr, ok := n.peers[msg.To]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("agent: unknown recipient %q", msg.To)
+	}
+	return n.sendTo(addr, msg)
+}
+
+// sendTo writes msg to addr, dialing or reusing a cached connection and
+// retrying once on a stale connection.
+func (n *TCPNode) sendTo(addr string, msg Message) error {
+	data, err := json.Marshal(msg)
+	if err != nil {
+		return fmt.Errorf("agent: encode message: %w", err)
+	}
+	data = append(data, '\n')
+	for attempt := 0; attempt < 2; attempt++ {
+		conn, err := n.conn(addr)
+		if err != nil {
+			return err
+		}
+		if _, err := conn.Write(data); err == nil {
+			return nil
+		}
+		n.dropConn(addr)
+	}
+	return fmt.Errorf("agent: send to %s failed", addr)
+}
+
+func (n *TCPNode) conn(addr string) (net.Conn, error) {
+	n.mu.Lock()
+	if c, ok := n.conns[addr]; ok {
+		n.mu.Unlock()
+		return c, nil
+	}
+	n.mu.Unlock()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("agent: dial %s: %w", addr, err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		c.Close()
+		return nil, errors.New("agent: node closed")
+	}
+	if existing, ok := n.conns[addr]; ok {
+		c.Close()
+		return existing, nil
+	}
+	n.conns[addr] = c
+	return c, nil
+}
+
+func (n *TCPNode) dropConn(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if c, ok := n.conns[addr]; ok {
+		c.Close()
+		delete(n.conns, addr)
+	}
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.accepted[conn] = true
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *TCPNode) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.accepted, conn)
+		n.mu.Unlock()
+	}()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for scanner.Scan() {
+		var msg Message
+		if err := json.Unmarshal(scanner.Bytes(), &msg); err != nil {
+			continue // skip malformed frames rather than killing the link
+		}
+		n.mu.Lock()
+		h, ok := n.handlers[msg.To]
+		n.mu.Unlock()
+		if ok {
+			h(msg)
+		}
+	}
+}
+
+// Close shuts down the listener and all connections and waits for reader
+// goroutines to exit.
+func (n *TCPNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	err := n.listener.Close()
+	for addr, c := range n.conns {
+		c.Close()
+		delete(n.conns, addr)
+	}
+	for c := range n.accepted {
+		c.Close()
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+	return err
+}

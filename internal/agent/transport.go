@@ -1,0 +1,145 @@
+// Package agent provides the messaging layer the SmartOClock agents use to
+// talk to each other: Server Overclocking Agents report power and overclock
+// templates to the Global Overclocking Agent, the gOA pushes heterogeneous
+// power budgets back, the rack manager broadcasts warnings, and Workload
+// Intelligence agents exchange metrics and scale-out signals.
+//
+// Two transports share one interface: an in-process bus (used by the
+// simulator, optionally with artificial delivery delay) and a
+// line-delimited-JSON TCP transport (used by the distributed example to run
+// agents as real networked processes). Production deployments would swap in
+// a hypervisor shared-memory channel or locally-terminated endpoint for the
+// VM-to-host hop (§IV).
+package agent
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Message is the envelope every agent exchange uses.
+type Message struct {
+	// Type names the message's meaning, e.g. "oc.request" or "goa.budget".
+	Type string `json:"type"`
+	// From is the sender's agent name.
+	From string `json:"from"`
+	// To is the recipient's agent name.
+	To string `json:"to"`
+	// Payload carries the type-specific body as JSON.
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// NewMessage builds a message with v encoded as the payload.
+func NewMessage(msgType, from, to string, v any) (Message, error) {
+	var payload json.RawMessage
+	if v != nil {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return Message{}, fmt.Errorf("agent: encode payload: %w", err)
+		}
+		payload = b
+	}
+	return Message{Type: msgType, From: from, To: to, Payload: payload}, nil
+}
+
+// Decode unmarshals a message's payload into T.
+func Decode[T any](m Message) (T, error) {
+	var v T
+	if len(m.Payload) == 0 {
+		return v, fmt.Errorf("agent: message %q has no payload", m.Type)
+	}
+	if err := json.Unmarshal(m.Payload, &v); err != nil {
+		return v, fmt.Errorf("agent: decode %q payload: %w", m.Type, err)
+	}
+	return v, nil
+}
+
+// Handler consumes a delivered message.
+type Handler func(Message)
+
+// Transport delivers messages between named agents.
+type Transport interface {
+	// Send routes msg to the agent named msg.To. Unknown recipients are an
+	// error.
+	Send(msg Message) error
+	// Register attaches h as the handler for messages addressed to name.
+	// Registering a name twice replaces the handler.
+	Register(name string, h Handler)
+	// Close releases transport resources.
+	Close() error
+}
+
+// Bus is an in-process Transport with synchronous delivery. It is safe for
+// concurrent use. An optional Defer hook lets the simulator delay delivery
+// (e.g. to model network latency) by scheduling the thunk instead of
+// running it inline.
+type Bus struct {
+	mu       sync.Mutex
+	handlers map[string]Handler
+	// Defer, when non-nil, receives each delivery thunk instead of the
+	// thunk running synchronously. Set it to the simulator's scheduling
+	// function to model latency.
+	Defer func(deliver func())
+}
+
+// NewBus creates an empty in-process bus.
+func NewBus() *Bus {
+	return &Bus{handlers: make(map[string]Handler)}
+}
+
+// Register implements Transport.
+func (b *Bus) Register(name string, h Handler) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.handlers[name] = h
+}
+
+// Unregister removes a handler.
+func (b *Bus) Unregister(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.handlers, name)
+}
+
+// Send implements Transport.
+func (b *Bus) Send(msg Message) error {
+	b.mu.Lock()
+	h, ok := b.handlers[msg.To]
+	deferFn := b.Defer
+	b.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("agent: unknown recipient %q", msg.To)
+	}
+	if deferFn != nil {
+		deferFn(func() { h(msg) })
+		return nil
+	}
+	h(msg)
+	return nil
+}
+
+// Broadcast sends msg to every registered agent except the sender.
+func (b *Bus) Broadcast(msg Message) {
+	b.mu.Lock()
+	names := make([]string, 0, len(b.handlers))
+	for name := range b.handlers {
+		if name != msg.From {
+			names = append(names, name)
+		}
+	}
+	b.mu.Unlock()
+	for _, name := range names {
+		m := msg
+		m.To = name
+		_ = b.Send(m) // recipients may unregister concurrently; best effort
+	}
+}
+
+// Close implements Transport.
+func (b *Bus) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.handlers = make(map[string]Handler)
+	return nil
+}

@@ -1,0 +1,143 @@
+// Package autoscale implements the comparison systems of the cluster
+// evaluation (§V-A): Baseline (no scaling at all), ScaleOut (horizontal
+// scaling on observed tail latency) and ScaleUp (vertical scaling —
+// overclocking — on observed tail latency, with no admission control).
+// SmartOClock itself lives in internal/core; these controllers share its
+// deployment-facing shape so the experiment harness can swap them.
+package autoscale
+
+import (
+	"time"
+)
+
+// Decision is a controller's desired deployment state.
+type Decision struct {
+	// Instances is the desired replica count.
+	Instances int
+	// FreqMHz is the desired core frequency for the deployment's VMs.
+	FreqMHz int
+}
+
+// Controller reacts to the deployment's observed tail latency each control
+// interval.
+type Controller interface {
+	// Name identifies the system in result tables.
+	Name() string
+	// Control returns the desired state given the observed deployment
+	// P99 latency and the service SLO.
+	Control(now time.Time, p99MS, sloMS float64) Decision
+}
+
+// Config holds the shared thresholds: act when the tail exceeds UpFrac of
+// the SLO, relax when it falls below DownFrac, with a cooldown between
+// actions.
+type Config struct {
+	UpFrac   float64
+	DownFrac float64
+	Cooldown time.Duration
+	MinInst  int
+	MaxInst  int
+	TurboMHz int
+	MaxOCMHz int
+	StepMHz  int
+}
+
+// DefaultConfig matches the workload-intelligence thresholds so the
+// comparison is apples-to-apples.
+func DefaultConfig(turboMHz, maxOCMHz, stepMHz int) Config {
+	return Config{
+		UpFrac: 0.8, DownFrac: 0.3, Cooldown: 2 * time.Minute,
+		MinInst: 1, MaxInst: 4,
+		TurboMHz: turboMHz, MaxOCMHz: maxOCMHz, StepMHz: stepMHz,
+	}
+}
+
+// Baseline never scales in either direction.
+type Baseline struct {
+	cfg Config
+}
+
+// NewBaseline returns the do-nothing controller.
+func NewBaseline(cfg Config) *Baseline { return &Baseline{cfg: cfg} }
+
+// Name implements Controller.
+func (b *Baseline) Name() string { return "Baseline" }
+
+// Control implements Controller.
+func (b *Baseline) Control(time.Time, float64, float64) Decision {
+	return Decision{Instances: b.cfg.MinInst, FreqMHz: b.cfg.TurboMHz}
+}
+
+// ScaleOut adds or removes instances at turbo frequency.
+type ScaleOut struct {
+	cfg       Config
+	instances int
+	lastAct   time.Time
+	hasActed  bool
+}
+
+// NewScaleOut returns a horizontal-scaling controller.
+func NewScaleOut(cfg Config) *ScaleOut {
+	return &ScaleOut{cfg: cfg, instances: cfg.MinInst}
+}
+
+// Name implements Controller.
+func (s *ScaleOut) Name() string { return "ScaleOut" }
+
+// Control implements Controller.
+func (s *ScaleOut) Control(now time.Time, p99MS, sloMS float64) Decision {
+	if !s.hasActed || now.Sub(s.lastAct) >= s.cfg.Cooldown {
+		switch {
+		case p99MS >= s.cfg.UpFrac*sloMS && s.instances < s.cfg.MaxInst:
+			s.instances++
+			s.lastAct = now
+			s.hasActed = true
+		case p99MS > 0 && p99MS <= s.cfg.DownFrac*sloMS && s.instances > s.cfg.MinInst:
+			s.instances--
+			s.lastAct = now
+			s.hasActed = true
+		}
+	}
+	return Decision{Instances: s.instances, FreqMHz: s.cfg.TurboMHz}
+}
+
+// ScaleUp raises or lowers frequency (vertical scaling / overclocking) on a
+// fixed instance count, one DVFS step per action. It performs no admission
+// control and no power awareness — the paper's ScaleUp comparison point.
+type ScaleUp struct {
+	cfg      Config
+	freq     int
+	lastAct  time.Time
+	hasActed bool
+}
+
+// NewScaleUp returns a vertical-scaling controller starting at turbo.
+func NewScaleUp(cfg Config) *ScaleUp {
+	return &ScaleUp{cfg: cfg, freq: cfg.TurboMHz}
+}
+
+// Name implements Controller.
+func (s *ScaleUp) Name() string { return "ScaleUp" }
+
+// Control implements Controller.
+func (s *ScaleUp) Control(now time.Time, p99MS, sloMS float64) Decision {
+	if !s.hasActed || now.Sub(s.lastAct) >= s.cfg.Cooldown {
+		switch {
+		case p99MS >= s.cfg.UpFrac*sloMS && s.freq < s.cfg.MaxOCMHz:
+			s.freq += s.cfg.StepMHz
+			if s.freq > s.cfg.MaxOCMHz {
+				s.freq = s.cfg.MaxOCMHz
+			}
+			s.lastAct = now
+			s.hasActed = true
+		case p99MS > 0 && p99MS <= s.cfg.DownFrac*sloMS && s.freq > s.cfg.TurboMHz:
+			s.freq -= s.cfg.StepMHz
+			if s.freq < s.cfg.TurboMHz {
+				s.freq = s.cfg.TurboMHz
+			}
+			s.lastAct = now
+			s.hasActed = true
+		}
+	}
+	return Decision{Instances: s.cfg.MinInst, FreqMHz: s.freq}
+}

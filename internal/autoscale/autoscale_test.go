@@ -1,0 +1,106 @@
+package autoscale
+
+import (
+	"testing"
+	"time"
+)
+
+var now0 = time.Date(2023, 4, 10, 9, 0, 0, 0, time.UTC)
+
+func cfg() Config { return DefaultConfig(3300, 4000, 100) }
+
+func TestBaselineNeverMoves(t *testing.T) {
+	b := NewBaseline(cfg())
+	if b.Name() != "Baseline" {
+		t.Fatal("name")
+	}
+	for _, p99 := range []float64{0, 50, 500, 5000} {
+		d := b.Control(now0, p99, 100)
+		if d.Instances != 1 || d.FreqMHz != 3300 {
+			t.Fatalf("baseline moved: %+v at p99=%v", d, p99)
+		}
+	}
+}
+
+func TestScaleOutGrowsAndShrinks(t *testing.T) {
+	s := NewScaleOut(cfg())
+	d := s.Control(now0, 90, 100) // ≥ 80% SLO
+	if d.Instances != 2 {
+		t.Fatalf("instances = %d", d.Instances)
+	}
+	// Cooldown blocks immediate growth.
+	d = s.Control(now0.Add(time.Second), 90, 100)
+	if d.Instances != 2 {
+		t.Fatalf("cooldown violated: %d", d.Instances)
+	}
+	// After cooldown it grows again.
+	d = s.Control(now0.Add(3*time.Minute), 90, 100)
+	if d.Instances != 3 {
+		t.Fatalf("instances = %d", d.Instances)
+	}
+	// Quiet tail shrinks.
+	d = s.Control(now0.Add(6*time.Minute), 10, 100)
+	if d.Instances != 2 {
+		t.Fatalf("instances after shrink = %d", d.Instances)
+	}
+	if s.Name() != "ScaleOut" {
+		t.Fatal("name")
+	}
+}
+
+func TestScaleOutBounds(t *testing.T) {
+	c := cfg()
+	c.MaxInst = 2
+	s := NewScaleOut(c)
+	now := now0
+	for i := 0; i < 5; i++ {
+		now = now.Add(3 * time.Minute)
+		if d := s.Control(now, 200, 100); d.Instances > 2 {
+			t.Fatalf("exceeded max: %d", d.Instances)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		now = now.Add(3 * time.Minute)
+		if d := s.Control(now, 1, 100); d.Instances < 1 {
+			t.Fatalf("below min: %d", d.Instances)
+		}
+	}
+}
+
+func TestScaleUpStepsFrequency(t *testing.T) {
+	s := NewScaleUp(cfg())
+	d := s.Control(now0, 90, 100)
+	if d.FreqMHz != 3400 || d.Instances != 1 {
+		t.Fatalf("decision = %+v", d)
+	}
+	// Keeps stepping up to the maximum.
+	now := now0
+	for i := 0; i < 20; i++ {
+		now = now.Add(3 * time.Minute)
+		d = s.Control(now, 90, 100)
+	}
+	if d.FreqMHz != 4000 {
+		t.Fatalf("freq = %d, want max 4000", d.FreqMHz)
+	}
+	// Quiet: steps back down toward turbo.
+	for i := 0; i < 20; i++ {
+		now = now.Add(3 * time.Minute)
+		d = s.Control(now, 10, 100)
+	}
+	if d.FreqMHz != 3300 {
+		t.Fatalf("freq = %d, want turbo", d.FreqMHz)
+	}
+	if s.Name() != "ScaleUp" {
+		t.Fatal("name")
+	}
+}
+
+func TestScaleUpHysteresisBand(t *testing.T) {
+	s := NewScaleUp(cfg())
+	s.Control(now0, 90, 100) // 3400
+	// Mid-band latency: hold.
+	d := s.Control(now0.Add(3*time.Minute), 50, 100)
+	if d.FreqMHz != 3400 {
+		t.Fatalf("freq moved in hysteresis band: %d", d.FreqMHz)
+	}
+}

@@ -1,0 +1,86 @@
+// Package baselines defines the systems Table I compares SmartOClock
+// against (§V-B) as configuration variants of the Server Overclocking
+// Agent:
+//
+//   - Central: an oracle with a global, instantaneous view of rack power
+//     that can precisely decide whether a request will cause capping;
+//   - NaiveOClock: grants every request, no budgets, even split on caps;
+//   - NoFeedback: enforces per-server budgets but never explores beyond;
+//   - NoWarning: explores beyond budgets but ignores warning messages,
+//     reverting only on actual capping events;
+//   - SmartOClock: the full system.
+package baselines
+
+import (
+	"fmt"
+
+	"smartoclock/internal/core"
+)
+
+// System identifies one comparison system.
+type System int
+
+const (
+	// Central is the global-view oracle.
+	Central System = iota
+	// NaiveOClock grants all requests.
+	NaiveOClock
+	// NoFeedback never explores beyond assigned budgets.
+	NoFeedback
+	// NoWarning explores but ignores warnings.
+	NoWarning
+	// SmartOClock is the full system.
+	SmartOClock
+)
+
+// String returns the system name as printed in Table I.
+func (s System) String() string {
+	switch s {
+	case Central:
+		return "Central"
+	case NaiveOClock:
+		return "NaiveOClock"
+	case NoFeedback:
+		return "NoFeedback"
+	case NoWarning:
+		return "NoWarning"
+	case SmartOClock:
+		return "SmartOClock"
+	default:
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+}
+
+// All returns the systems in Table I's row order.
+func All() []System {
+	return []System{Central, NaiveOClock, NoFeedback, NoWarning, SmartOClock}
+}
+
+// RackOracle answers whether a rack can absorb extra watts right now —
+// the global view only Central has.
+type RackOracle func(extraWatts float64) bool
+
+// SOAConfig derives the sOA configuration for a system from a base config.
+// For Central, oracle supplies the global admission check.
+func SOAConfig(s System, base core.SOAConfig, oracle RackOracle) core.SOAConfig {
+	cfg := base
+	switch s {
+	case Central:
+		cfg.NoExplore = true // the oracle needs no local exploration
+		cfg.AdmitOverride = func(req core.Request, delta float64) bool {
+			if oracle == nil {
+				return false
+			}
+			return oracle(delta)
+		}
+	case NaiveOClock:
+		cfg.Naive = true
+	case NoFeedback:
+		cfg.NoExplore = true
+	case NoWarning:
+		cfg.IgnoreWarnings = true
+	case SmartOClock:
+		// Full behaviour: defaults.
+	}
+	return cfg
+}

@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"smartoclock/internal/core"
+	"smartoclock/internal/lifetime"
+	"smartoclock/internal/machine"
+	"smartoclock/internal/power"
+)
+
+// Interface conformance checks.
+var (
+	_ core.Host    = (*Server)(nil)
+	_ power.Server = (*Server)(nil)
+)
+
+func newServer() *Server {
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 8
+	return NewServer("s1", cfg, 0)
+}
+
+func TestInitialFrequencies(t *testing.T) {
+	s := newServer()
+	for i := 0; i < s.NumCores(); i++ {
+		if s.EffectiveFreq(i) != s.TurboMHz() {
+			t.Fatalf("core %d initial = %d", i, s.EffectiveFreq(i))
+		}
+	}
+}
+
+func TestDesiredFreqApplied(t *testing.T) {
+	s := newServer()
+	s.SetDesiredFreq(0, 4000)
+	if s.EffectiveFreq(0) != 4000 || s.DesiredFreq(0) != 4000 {
+		t.Fatalf("freq = %d/%d", s.EffectiveFreq(0), s.DesiredFreq(0))
+	}
+}
+
+func TestCapCeilingBoundsEffectiveFreq(t *testing.T) {
+	s := newServer()
+	s.SetDesiredFreq(0, 4000)
+	// 7 levels: ceiling = 4000 - 700 = 3300 (turbo).
+	s.ForceCap(7)
+	if s.EffectiveFreq(0) != 3300 {
+		t.Fatalf("capped freq = %d, want 3300", s.EffectiveFreq(0))
+	}
+	// Deeper: below turbo.
+	s.ForceCap(10)
+	if s.EffectiveFreq(0) != 3000 {
+		t.Fatalf("capped freq = %d, want 3000", s.EffectiveFreq(0))
+	}
+	// Desired preserved; uncapping restores it.
+	s.ForceCap(0)
+	if s.EffectiveFreq(0) != 4000 {
+		t.Fatalf("uncapped freq = %d, want 4000", s.EffectiveFreq(0))
+	}
+}
+
+func TestCapLevelClamps(t *testing.T) {
+	s := newServer()
+	s.ForceCap(-5)
+	if s.CapLevel() != 0 {
+		t.Fatal("negative level not clamped")
+	}
+	s.ForceCap(10000)
+	if s.CapLevel() != s.MaxCapLevel() {
+		t.Fatalf("level = %d, max = %d", s.CapLevel(), s.MaxCapLevel())
+	}
+	if s.EffectiveFreq(0) != s.Machine().Config().MinMHz {
+		t.Fatalf("floor freq = %d", s.EffectiveFreq(0))
+	}
+}
+
+func TestCappingReducesPower(t *testing.T) {
+	s := newServer()
+	for i := 0; i < s.NumCores(); i++ {
+		s.SetCoreUtil(i, 0.9)
+		s.SetDesiredFreq(i, 4000)
+	}
+	before := s.Power()
+	s.ForceCap(7)
+	if s.Power() >= before {
+		t.Fatal("capping must reduce power")
+	}
+}
+
+func TestOCDeltaWattsPositive(t *testing.T) {
+	s := newServer()
+	d := s.OCDeltaWatts(4, 4000, 0.9)
+	if d <= 0 {
+		t.Fatalf("delta = %v", d)
+	}
+	if s.OCDeltaWatts(4, 3300, 0.9) != 0 {
+		t.Fatal("delta at turbo must be 0")
+	}
+}
+
+func TestAdvanceAccumulatesWear(t *testing.T) {
+	s := newServer()
+	s.SetCoreUtil(0, 1.0)
+	s.SetDesiredFreq(0, 4000)
+	s.Advance(time.Hour)
+	ocAged := s.CoreWear(0).Aged()
+	turboAged := s.CoreWear(1).Aged()
+	if ocAged <= turboAged {
+		t.Fatalf("overclocked core must age faster: %v vs %v", ocAged, turboAged)
+	}
+	if s.Energy() <= 0 {
+		t.Fatal("no energy recorded")
+	}
+	if s.MeanAgedSeconds() <= 0 {
+		t.Fatal("no mean aging")
+	}
+}
+
+func TestVMPlacementAndControl(t *testing.T) {
+	s := newServer()
+	vm1, err := PlaceVM(s, "vm1", 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm2, err := PlaceVM(s, "vm2", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlaceVM(s, "vm3", 2, 8); err == nil {
+		t.Fatal("over-allocation accepted")
+	}
+	vm1.SetUtil(0.7)
+	if s.CoreUtil(0) != 0.7 || s.CoreUtil(3) != 0.7 {
+		t.Fatal("VM util not applied")
+	}
+	if s.CoreUtil(4) != 0 {
+		t.Fatal("neighbour VM affected")
+	}
+	if vm2.Freq() != s.TurboMHz() {
+		t.Fatalf("vm2 freq = %d", vm2.Freq())
+	}
+	s.SetDesiredFreq(0, 4000)
+	if vm1.Freq() != 4000 {
+		t.Fatalf("vm1 freq = %d", vm1.Freq())
+	}
+	empty := &VM{Name: "e", Server: s}
+	if empty.Freq() != s.TurboMHz() {
+		t.Fatal("empty VM freq fallback wrong")
+	}
+}
+
+// TestSOAOnClusterServer wires a real sOA to a cluster server and verifies
+// the full grant→overclock→cap→revert cycle end to end.
+func TestSOAOnClusterServer(t *testing.T) {
+	s := newServer()
+	start := time.Date(2023, 4, 10, 9, 0, 0, 0, time.UTC)
+	budgets := lifetime.NewCoreBudgets(lifetime.DefaultBudgetConfig(), s.NumCores(), start)
+	soa := core.NewSOA(core.DefaultSOAConfig(), s, budgets, 2000, start)
+	for i := 0; i < s.NumCores(); i++ {
+		s.SetCoreUtil(i, 0.5)
+	}
+	d := soa.Request(start, core.Request{VM: "vm1", Cores: 4, TargetMHz: 4000, Priority: core.PriorityMetric})
+	if !d.Granted {
+		t.Fatalf("grant failed: %+v", d)
+	}
+	if s.Machine().OverclockedCores() != 4 {
+		t.Fatalf("OC cores = %d", s.Machine().OverclockedCores())
+	}
+	// Rack caps the server: effective frequency drops even though the
+	// session's desired frequency stays.
+	s.ForceCap(7)
+	if s.Machine().OverclockedCores() != 0 {
+		t.Fatal("cap did not strip overclock")
+	}
+	soa.OnRackEvent(start, power.Event{Kind: power.EventCap})
+	if soa.ExtraWatts() != 0 {
+		t.Fatal("sOA did not revert budget")
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"smartoclock/internal/predict"
+	"smartoclock/internal/timeseries"
+)
+
+// ServerProfile is what each sOA periodically reports to the gOA: its power
+// template, its overclock template and its per-core overclock power cost.
+type ServerProfile struct {
+	// Power is the server's power template (draw including any overclock
+	// power it ran with).
+	Power *timeseries.WeekTemplate
+	// OC is the overclock template: requested/granted cores per slot.
+	OC *predict.OCTemplate
+	// OCCoreCost is the modeled extra watts per overclocked core at high
+	// utilization, used to separate regular from overclock power.
+	OCCoreCost float64
+}
+
+// GOA is the Global Overclocking Agent for one rack: it aggregates server
+// profiles and splits the rack power limit into heterogeneous per-server
+// budgets (§IV-C).
+type GOA struct {
+	rack     string
+	limit    float64
+	profiles map[string]ServerProfile
+}
+
+// NewGOA creates a gOA for the named rack with the given power limit.
+func NewGOA(rack string, limitWatts float64) *GOA {
+	return &GOA{rack: rack, limit: limitWatts, profiles: make(map[string]ServerProfile)}
+}
+
+// Rack returns the rack name.
+func (g *GOA) Rack() string { return g.rack }
+
+// Limit returns the rack power limit in watts.
+func (g *GOA) Limit() float64 { return g.limit }
+
+// SetLimit updates the rack power limit (e.g. for power-constrained
+// experiments).
+func (g *GOA) SetLimit(watts float64) { g.limit = watts }
+
+// SetProfile installs or replaces a server's reported profile.
+func (g *GOA) SetProfile(server string, p ServerProfile) {
+	g.profiles[server] = p
+}
+
+// Servers returns the profiled server names, sorted for determinism.
+func (g *GOA) Servers() []string {
+	names := make([]string, 0, len(g.profiles))
+	for name := range g.profiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BudgetsAt computes the heterogeneous per-server power budgets for the
+// time-of-day of ts, in three phases (§IV-C):
+//
+//  1. separate each server's template power into regular and overclock
+//     portions using the granted-core counts from its overclock template;
+//  2. assign each server its regular power as the initial budget;
+//  3. split the remaining rack headroom in proportion to each server's
+//     overclock need (requested cores × per-core cost).
+//
+// When the regular power alone exceeds the limit, budgets are scaled down
+// proportionally. With no overclock demand anywhere the headroom is split
+// evenly (the fair-share fallback).
+func (g *GOA) BudgetsAt(ts time.Time) map[string]float64 {
+	names := g.Servers()
+	if len(names) == 0 {
+		return nil
+	}
+	regular := make(map[string]float64, len(names))
+	need := make(map[string]float64, len(names))
+	var sumRegular, sumNeed float64
+	for _, name := range names {
+		p := g.profiles[name]
+		total := 0.0
+		if p.Power != nil {
+			total = p.Power.At(ts)
+		}
+		ocPortion := p.OC.GrantedAt(ts) * p.OCCoreCost
+		reg := total - ocPortion
+		if reg < 0 {
+			reg = 0
+		}
+		regular[name] = reg
+		sumRegular += reg
+		n := p.OC.RequestedAt(ts) * p.OCCoreCost
+		if n < 0 {
+			n = 0
+		}
+		need[name] = n
+		sumNeed += n
+	}
+
+	budgets := make(map[string]float64, len(names))
+	if sumRegular >= g.limit {
+		// No headroom: scale regular demand into the limit.
+		for _, name := range names {
+			if sumRegular > 0 {
+				budgets[name] = g.limit * regular[name] / sumRegular
+			} else {
+				budgets[name] = g.limit / float64(len(names))
+			}
+		}
+		return budgets
+	}
+	headroom := g.limit - sumRegular
+	for _, name := range names {
+		extra := headroom / float64(len(names))
+		if sumNeed > 0 {
+			extra = headroom * need[name] / sumNeed
+		}
+		budgets[name] = regular[name] + extra
+	}
+	return budgets
+}
+
+// BudgetTemplates evaluates BudgetsAt across every time-of-day slot and
+// returns one budget WeekTemplate per server — the artifact the gOA pushes
+// to each sOA on the (e.g. weekly) assignment cadence. step is the slot
+// width, typically the profile recording step.
+func (g *GOA) BudgetTemplates(step time.Duration) map[string]*timeseries.WeekTemplate {
+	names := g.Servers()
+	if len(names) == 0 {
+		return nil
+	}
+	slots := int(24 * time.Hour / step)
+	if slots < 1 {
+		slots = 1
+	}
+	out := make(map[string]*timeseries.WeekTemplate, len(names))
+	for _, name := range names {
+		out[name] = &timeseries.WeekTemplate{
+			Weekday: &timeseries.DayTemplate{Step: step, Kind: timeseries.Weekdays, Slots: make([]float64, slots)},
+			Weekend: &timeseries.DayTemplate{Step: step, Kind: timeseries.Weekends, Slots: make([]float64, slots)},
+		}
+	}
+	// Reference days: a Monday and a Saturday (any instances work — only
+	// time-of-day and weekday-kind matter).
+	monday := time.Date(2023, 4, 10, 0, 0, 0, 0, time.UTC)
+	saturday := time.Date(2023, 4, 15, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < slots; i++ {
+		offset := time.Duration(i) * step
+		wk := g.BudgetsAt(monday.Add(offset))
+		we := g.BudgetsAt(saturday.Add(offset))
+		for _, name := range names {
+			out[name].Weekday.Slots[i] = wk[name]
+			out[name].Weekend.Slots[i] = we[name]
+		}
+	}
+	return out
+}
+
+// EvenShare returns the fair-share budget: limit divided by the number of
+// profiled servers (or the provided count when no profiles exist yet).
+func (g *GOA) EvenShare(fallbackServers int) float64 {
+	n := len(g.profiles)
+	if n == 0 {
+		n = fallbackServers
+	}
+	if n <= 0 {
+		return g.limit
+	}
+	return g.limit / float64(n)
+}
+
+// DatacenterAgent applies the same heterogeneous three-phase split one
+// level up the power-delivery hierarchy (§II): a datacenter (or row)
+// budget is divided across rack limits in proportion to each rack's
+// regular draw and overclocking demand. The algorithm composes — the
+// resulting rack limits feed each rack's gOA, whose per-server budgets
+// again sum to its (new) limit.
+type DatacenterAgent struct {
+	goa *GOA
+}
+
+// NewDatacenterAgent creates an agent managing budgetWatts across racks.
+func NewDatacenterAgent(name string, budgetWatts float64) *DatacenterAgent {
+	return &DatacenterAgent{goa: NewGOA(name, budgetWatts)}
+}
+
+// SetRackProfile installs one rack's aggregate profile: its power template
+// (sum of server templates or the rack recorder) and overclock template
+// (summed requested/granted cores), with the fleet's per-core cost.
+func (d *DatacenterAgent) SetRackProfile(rack string, p ServerProfile) {
+	d.goa.SetProfile(rack, p)
+}
+
+// RackLimitsAt returns the heterogeneous rack power limits for the
+// time-of-day of ts.
+func (d *DatacenterAgent) RackLimitsAt(ts time.Time) map[string]float64 {
+	return d.goa.BudgetsAt(ts)
+}
+
+// Budget returns the managed datacenter budget in watts.
+func (d *DatacenterAgent) Budget() float64 { return d.goa.Limit() }

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"time"
+
+	"smartoclock/internal/stats"
+)
+
+// LocalWI is the Local Workload Intelligence agent deployed with each VM
+// (§IV): it collects the VM's metrics of interest — request latencies and
+// CPU utilization — aggregates them over a reporting interval, and ships
+// InstanceMetrics to the service's global agent, exactly like a
+// conventional autoscaling sidecar. It also relays the global agent's
+// overclocking signal to the local sOA and reports rejections back.
+//
+// LocalWI is deliberately transport-agnostic: Report is a callback the
+// caller wires to an agent.Transport send, a direct GlobalWI.Observe, or a
+// test hook.
+type LocalWI struct {
+	// Instance names the VM this agent runs in.
+	Instance string
+	// Interval is the reporting cadence.
+	Interval time.Duration
+	// Report receives the aggregated metrics each interval.
+	Report func(instance string, m InstanceMetrics)
+
+	p99     *stats.P2Quantile
+	latSum  float64
+	latN    int
+	utilSum float64
+	utilN   int
+
+	nextFlush time.Time
+	started   bool
+}
+
+// NewLocalWI creates a local agent for the named instance reporting every
+// interval through report.
+func NewLocalWI(instance string, interval time.Duration, report func(string, InstanceMetrics)) *LocalWI {
+	if interval <= 0 {
+		interval = 15 * time.Second
+	}
+	l := &LocalWI{Instance: instance, Interval: interval, Report: report}
+	l.reset()
+	return l
+}
+
+func (l *LocalWI) reset() {
+	l.p99 = stats.NewP2Quantile(0.99)
+	l.latSum, l.latN = 0, 0
+	l.utilSum, l.utilN = 0, 0
+}
+
+// RecordLatency records one request latency observation in milliseconds.
+func (l *LocalWI) RecordLatency(ms float64) {
+	l.p99.Add(ms)
+	l.latSum += ms
+	l.latN++
+}
+
+// RecordUtil records one CPU utilization observation in [0,1].
+func (l *LocalWI) RecordUtil(u float64) {
+	l.utilSum += u
+	l.utilN++
+}
+
+// Tick advances the agent's clock; when a reporting interval has elapsed
+// the aggregated metrics are flushed to Report and the window resets.
+func (l *LocalWI) Tick(now time.Time) {
+	if !l.started {
+		l.started = true
+		l.nextFlush = now.Add(l.Interval)
+		return
+	}
+	for !now.Before(l.nextFlush) {
+		l.flush()
+		l.nextFlush = l.nextFlush.Add(l.Interval)
+	}
+}
+
+// flush emits the current window (empty windows report zero metrics so the
+// global agent still sees a heartbeat).
+func (l *LocalWI) flush() {
+	m := InstanceMetrics{}
+	if l.latN > 0 {
+		m.P99MS = l.p99.Value()
+		m.AvgMS = l.latSum / float64(l.latN)
+	}
+	if l.utilN > 0 {
+		m.Util = l.utilSum / float64(l.utilN)
+	}
+	if l.Report != nil {
+		l.Report(l.Instance, m)
+	}
+	l.reset()
+}
+
+// Flush forces an immediate report of the current window, regardless of
+// the interval (used on shutdown).
+func (l *LocalWI) Flush() { l.flush() }

@@ -1,0 +1,139 @@
+// Package core implements SmartOClock itself (§IV): the Server Overclocking
+// Agent (sOA) with prediction-based admission control, a prioritized
+// frequency feedback loop and exploration/exploitation beyond assigned
+// budgets; the Global Overclocking Agent (gOA) that computes heterogeneous
+// per-server power budgets from power and overclock templates; and the
+// Workload Intelligence agents that trigger overclocking from application
+// metrics or schedules and fall back to scale-out when overclocking is
+// unavailable.
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Priority orders overclocking sessions in the sOA's feedback loop:
+// higher-priority VMs are overclocked to the maximum extent before
+// lower-priority ones (§IV-D).
+type Priority int
+
+const (
+	// PriorityBestEffort is background opportunistic overclocking.
+	PriorityBestEffort Priority = iota
+	// PriorityMetric is unscheduled, metrics-triggered overclocking.
+	PriorityMetric
+	// PriorityScheduled is reserved, schedule-based overclocking.
+	PriorityScheduled
+)
+
+// String returns the priority name.
+func (p Priority) String() string {
+	switch p {
+	case PriorityBestEffort:
+		return "best-effort"
+	case PriorityMetric:
+		return "metric"
+	case PriorityScheduled:
+		return "scheduled"
+	default:
+		return fmt.Sprintf("Priority(%d)", int(p))
+	}
+}
+
+// Request asks the sOA to overclock a VM.
+type Request struct {
+	// VM identifies the requesting VM on this server.
+	VM string
+	// Cores is how many of the VM's cores to overclock.
+	Cores int
+	// TargetMHz is the requested frequency (clamped to the host's range).
+	TargetMHz int
+	// Priority classifies the request.
+	Priority Priority
+	// Duration is the expected overclocking duration; zero means
+	// open-ended (metrics-based), bounded by the sOA's default horizon
+	// for admission checks.
+	Duration time.Duration
+	// PreferredCores pins the session to specific core indices (the VM's
+	// own cores). When their overclock budget is insufficient the sOA
+	// falls back to rescheduling onto cores with headroom (§IV-D).
+	PreferredCores []int
+}
+
+// Validate reports whether the request is well formed.
+func (r Request) Validate() error {
+	switch {
+	case r.VM == "":
+		return fmt.Errorf("core: request without VM")
+	case r.Cores <= 0:
+		return fmt.Errorf("core: request for %d cores", r.Cores)
+	case r.TargetMHz <= 0:
+		return fmt.Errorf("core: request target %d MHz", r.TargetMHz)
+	case r.Duration < 0:
+		return fmt.Errorf("core: negative duration %v", r.Duration)
+	}
+	return nil
+}
+
+// RejectReason classifies why a request was denied.
+type RejectReason string
+
+const (
+	// RejectPower means the power budget cannot absorb the overclock.
+	RejectPower RejectReason = "power"
+	// RejectLifetime means the per-core overclocking time budget is
+	// exhausted.
+	RejectLifetime RejectReason = "lifetime"
+	// RejectDuplicate means the VM already has an active session.
+	RejectDuplicate RejectReason = "duplicate"
+	// RejectInvalid means the request was malformed.
+	RejectInvalid RejectReason = "invalid"
+)
+
+// Decision is the sOA's answer to a Request.
+type Decision struct {
+	Granted bool
+	Reason  RejectReason // set when not granted
+	// Cores are the core indices assigned to the session when granted.
+	Cores []int
+}
+
+// Host abstracts the server hardware and its power model as seen by an sOA.
+// The simulated cluster's servers implement it; a production deployment
+// would back it with PMT/HSMP telemetry and CPPC frequency control.
+type Host interface {
+	// Name identifies the server.
+	Name() string
+	// NumCores returns the core count.
+	NumCores() int
+	// TurboMHz, MaxOCMHz and StepMHz describe the frequency range.
+	TurboMHz() int
+	MaxOCMHz() int
+	StepMHz() int
+	// Power reads the server's instantaneous power draw in watts.
+	Power() float64
+	// CoreUtil reads core i's utilization in [0,1].
+	CoreUtil(core int) float64
+	// SetDesiredFreq requests that core run at mhz; the hardware clamps to
+	// its range and any capping ceiling.
+	SetDesiredFreq(core, mhz int)
+	// DesiredFreq returns the last requested frequency for core.
+	DesiredFreq(core int) int
+	// OCDeltaWatts estimates the extra power of running n cores at mhz
+	// (instead of turbo) at the given utilization — the model used for
+	// admission checks.
+	OCDeltaWatts(cores, mhz int, util float64) float64
+}
+
+// ExhaustionKind labels proactive resource-exhaustion signals (§IV-D,
+// Fig 11).
+type ExhaustionKind string
+
+const (
+	// ExhaustPower signals the server will run out of power budget for
+	// overclocking.
+	ExhaustPower ExhaustionKind = "power"
+	// ExhaustOCBudget signals the overclocking time budget will run out.
+	ExhaustOCBudget ExhaustionKind = "oc-budget"
+)

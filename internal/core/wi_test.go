@@ -1,0 +1,287 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+var wiNow = time.Date(2023, 4, 10, 9, 30, 0, 0, time.UTC) // Monday 9:30
+
+func newMetricWI() *GlobalWI {
+	mp := DefaultMetricPolicy()
+	return NewGlobalWI(100, &mp, nil, DefaultScaleOutConfig())
+}
+
+func TestMetricPolicyStartsAndStopsOC(t *testing.T) {
+	w := newMetricWI()
+	w.Observe("i0", InstanceMetrics{P99MS: 85}) // ≥ 80% of SLO
+	d := w.Decide(wiNow)
+	if !d.Overclock["i0"] {
+		t.Fatal("overclock not triggered at 85% of SLO")
+	}
+	// Hysteresis: between the thresholds it stays on.
+	w.Observe("i0", InstanceMetrics{P99MS: 60})
+	d = w.Decide(wiNow.Add(time.Second))
+	if !d.Overclock["i0"] {
+		t.Fatal("overclock dropped inside hysteresis band")
+	}
+	// Below scale-down, but within the minimum on-time: stays on.
+	w.Observe("i0", InstanceMetrics{P99MS: 30})
+	d = w.Decide(wiNow.Add(2 * time.Second))
+	if !d.Overclock["i0"] {
+		t.Fatal("overclock released before OCMinOn")
+	}
+	// After the minimum on-time it releases.
+	d = w.Decide(wiNow.Add(OCMinOn + 2*time.Second))
+	if d.Overclock["i0"] {
+		t.Fatal("overclock not released at 30% of SLO")
+	}
+}
+
+func TestMetricScaleOutAtThreshold(t *testing.T) {
+	w := newMetricWI()
+	w.Observe("i0", InstanceMetrics{P99MS: 120}) // ≥ 105% of SLO
+	d := w.Decide(wiNow)
+	// Overclocking engages first; scale-out waits for the grace period.
+	if !d.Overclock["i0"] || d.Instances != 1 {
+		t.Fatalf("first decision = %+v, want OC on, 1 instance", d)
+	}
+	w.Observe("i0", InstanceMetrics{P99MS: 120}) // still over after grace
+	w.Decide(wiNow.Add(OCGrace + time.Second))   // starts the sustain clock
+	d = w.Decide(wiNow.Add(OCGrace + ScaleOutSustain + 2*time.Second))
+	if d.Instances != 2 {
+		t.Fatalf("instances = %d, want scale-out to 2", d.Instances)
+	}
+	if w.ScaleOuts() != 1 {
+		t.Fatalf("scaleOuts = %d", w.ScaleOuts())
+	}
+}
+
+func TestScaleOutCooldown(t *testing.T) {
+	w := newMetricWI()
+	w.Observe("i0", InstanceMetrics{P99MS: 120})
+	w.Decide(wiNow)                                                     // OC engages, sustain clock starts
+	w.Decide(wiNow.Add(OCGrace + time.Second))                          // sustain continues
+	d := w.Decide(wiNow.Add(OCGrace + ScaleOutSustain + 2*time.Second)) // first scale-out
+	if d.Instances != 2 {
+		t.Fatalf("instances = %d, want first scale-out", d.Instances)
+	}
+	w.Observe("i0", InstanceMetrics{P99MS: 120})
+	d = w.Decide(wiNow.Add(OCGrace + ScaleOutSustain + 3*time.Second)) // within cooldown
+	if d.Instances != 2 {
+		t.Fatalf("cooldown violated: %d instances", d.Instances)
+	}
+	d = w.Decide(wiNow.Add(OCGrace + ScaleOutSustain + 2*time.Second + 3*time.Minute)) // past cooldown
+	if d.Instances != 3 {
+		t.Fatalf("instances = %d, want 3 after cooldown", d.Instances)
+	}
+}
+
+func TestScaleOutBoundedByMax(t *testing.T) {
+	cfg := DefaultScaleOutConfig()
+	cfg.MaxInstances = 2
+	mp := DefaultMetricPolicy()
+	w := NewGlobalWI(100, &mp, nil, cfg)
+	now := wiNow
+	w.Observe("i0", InstanceMetrics{P99MS: 200})
+	w.Decide(now) // engage OC, start sustain clock
+	for i := 0; i < 5; i++ {
+		w.Observe("i0", InstanceMetrics{P99MS: 200})
+		now = now.Add(cfg.Cooldown + OCGrace + ScaleOutSustain + time.Second)
+		if d := w.Decide(now); d.Instances > 2 {
+			t.Fatalf("exceeded max instances: %d", d.Instances)
+		}
+	}
+}
+
+func TestRejectionTriggersCorrectiveScaleOut(t *testing.T) {
+	w := newMetricWI()
+	w.Scale.RejectThreshold = 1
+	w.Observe("i0", InstanceMetrics{P99MS: 85})
+	w.Decide(wiNow)
+	w.ReportRejection("i0", RejectPower)
+	d := w.Decide(wiNow.Add(time.Second))
+	if d.Instances != 2 {
+		t.Fatalf("rejection did not scale out: %d", d.Instances)
+	}
+	if d.Overclock["i0"] {
+		t.Fatal("rejected instance must not be marked overclocked")
+	}
+	if w.Rejections() != 1 {
+		t.Fatalf("rejections = %d", w.Rejections())
+	}
+}
+
+func TestProactiveExhaustionScaleOut(t *testing.T) {
+	w := newMetricWI()
+	w.Observe("i0", InstanceMetrics{P99MS: 85})
+	w.Decide(wiNow)
+	w.ReportExhaustion(ExhaustOCBudget, wiNow.Add(10*time.Minute))
+	d := w.Decide(wiNow.Add(time.Second))
+	if d.Instances != 2 {
+		t.Fatalf("proactive scale-out missing: %d", d.Instances)
+	}
+}
+
+func TestReactivePolicyIgnoresExhaustion(t *testing.T) {
+	cfg := DefaultScaleOutConfig()
+	cfg.Proactive = false
+	mp := DefaultMetricPolicy()
+	w := NewGlobalWI(100, &mp, nil, cfg)
+	w.Observe("i0", InstanceMetrics{P99MS: 50})
+	w.ReportExhaustion(ExhaustOCBudget, wiNow.Add(10*time.Minute))
+	d := w.Decide(wiNow)
+	if d.Instances != 1 {
+		t.Fatalf("reactive policy scaled out on exhaustion: %d", d.Instances)
+	}
+}
+
+func TestScaleInWhenIdle(t *testing.T) {
+	w := newMetricWI()
+	// Scale out first (OC engages, then grace+sustain pass while over).
+	w.Observe("i0", InstanceMetrics{P99MS: 120})
+	w.Decide(wiNow)
+	w.Decide(wiNow.Add(OCGrace + time.Second))
+	w.Decide(wiNow.Add(OCGrace + ScaleOutSustain + 2*time.Second))
+	// Then everything goes quiet (below scale-in threshold, OC released
+	// after its minimum on-time).
+	w.Observe("i0", InstanceMetrics{P99MS: 10})
+	w.Observe("i1", InstanceMetrics{P99MS: 10})
+	w.Decide(wiNow.Add(OCMinOn + 2*time.Minute)) // releases OC
+	d := w.Decide(wiNow.Add(OCMinOn + 5*time.Minute))
+	if d.Instances != 1 {
+		t.Fatalf("did not scale in: %d", d.Instances)
+	}
+	if w.ScaleIns() != 1 {
+		t.Fatalf("scaleIns = %d", w.ScaleIns())
+	}
+}
+
+func TestNoScaleInWhileOCActive(t *testing.T) {
+	w := newMetricWI()
+	w.Observe("i0", InstanceMetrics{P99MS: 120})
+	w.Decide(wiNow)
+	w.Decide(wiNow.Add(OCGrace + time.Second))
+	w.Decide(wiNow.Add(OCGrace + ScaleOutSustain + 2*time.Second)) // scaled to 2
+	// Keep one instance overclocked while the other is quiet: the
+	// deployment must not scale in.
+	w.Observe("i0", InstanceMetrics{P99MS: 10})
+	w.Observe("i1", InstanceMetrics{P99MS: 85})
+	d := w.Decide(wiNow.Add(10 * time.Minute))
+	if d.Instances < 2 {
+		t.Fatal("scaled in while an instance is overclocked")
+	}
+}
+
+func TestSchedulePolicyWindow(t *testing.T) {
+	sp := &SchedulePolicy{Windows: []ScheduleWindow{{StartHour: 9, EndHour: 11, WeekdaysOnly: true}}}
+	w := NewGlobalWI(100, nil, sp, DefaultScaleOutConfig())
+	w.Observe("i0", InstanceMetrics{P99MS: 10})
+	d := w.Decide(wiNow) // Monday 9:30, inside window
+	if !d.Overclock["i0"] {
+		t.Fatal("schedule window did not trigger overclock")
+	}
+	d = w.Decide(wiNow.Add(3 * time.Hour)) // 12:30, outside
+	if d.Overclock["i0"] {
+		t.Fatal("overclock persisted outside window")
+	}
+	sat := time.Date(2023, 4, 15, 9, 30, 0, 0, time.UTC)
+	d = w.Decide(sat)
+	if d.Overclock["i0"] {
+		t.Fatal("weekday-only window fired on Saturday")
+	}
+}
+
+func TestCombinedMetricAndSchedule(t *testing.T) {
+	mp := DefaultMetricPolicy()
+	sp := &SchedulePolicy{Windows: []ScheduleWindow{{StartHour: 9, EndHour: 10}}}
+	w := NewGlobalWI(100, &mp, sp, DefaultScaleOutConfig())
+	// Outside the window but tail is high: metric side triggers.
+	w.Observe("i0", InstanceMetrics{P99MS: 90})
+	d := w.Decide(wiNow.Add(5 * time.Hour))
+	if !d.Overclock["i0"] {
+		t.Fatal("metric trigger must work outside schedule windows")
+	}
+}
+
+func TestForget(t *testing.T) {
+	w := newMetricWI()
+	w.Observe("i0", InstanceMetrics{P99MS: 90})
+	w.Decide(wiNow)
+	w.Forget("i0")
+	d := w.Decide(wiNow.Add(time.Second))
+	if _, ok := d.Overclock["i0"]; ok {
+		t.Fatal("forgotten instance still present")
+	}
+}
+
+func TestScheduleWindowContains(t *testing.T) {
+	win := ScheduleWindow{StartHour: 22, EndHour: 23}
+	if !win.Contains(time.Date(2023, 4, 10, 22, 30, 0, 0, time.UTC)) {
+		t.Fatal("window must contain 22:30")
+	}
+	if win.Contains(time.Date(2023, 4, 10, 23, 0, 0, 0, time.UTC)) {
+		t.Fatal("EndHour is exclusive")
+	}
+}
+
+func TestWIConfigClamps(t *testing.T) {
+	w := NewGlobalWI(100, nil, nil, ScaleOutConfig{MinInstances: 0, MaxInstances: -1, StepInstances: 0})
+	if w.Scale.MinInstances != 1 || w.Scale.MaxInstances != 1 || w.Scale.StepInstances != 1 {
+		t.Fatalf("config not repaired: %+v", w.Scale)
+	}
+}
+
+func TestUtilPolicyDeploymentLevel(t *testing.T) {
+	up := DefaultUtilPolicy()
+	w := NewGlobalWI(100, nil, nil, DefaultScaleOutConfig())
+	w.Util = &up
+	// One hot VM (80%) and one cold VM (10%): deployment mean 45% stays
+	// under the 70% trigger — the paper's Fig 4 scenario where
+	// overclocking the hot VM would be wasted.
+	w.Observe("hot", InstanceMetrics{Util: 0.80})
+	w.Observe("cold", InstanceMetrics{Util: 0.10})
+	d := w.Decide(wiNow)
+	if d.Overclock["hot"] || d.Overclock["cold"] {
+		t.Fatal("deployment-level policy must not overclock while under target")
+	}
+	// Deployment-wide pressure triggers it.
+	w.Observe("hot", InstanceMetrics{Util: 0.90})
+	w.Observe("cold", InstanceMetrics{Util: 0.60})
+	d = w.Decide(wiNow.Add(time.Second))
+	if !d.Overclock["hot"] || !d.Overclock["cold"] {
+		t.Fatal("deployment over target must overclock")
+	}
+	// And releases once the deployment cools (after the min-on hold).
+	w.Observe("hot", InstanceMetrics{Util: 0.40})
+	w.Observe("cold", InstanceMetrics{Util: 0.20})
+	d = w.Decide(wiNow.Add(OCMinOn + 2*time.Second))
+	if d.Overclock["hot"] {
+		t.Fatal("deployment under release threshold must stop overclocking")
+	}
+}
+
+func TestUtilAndMetricCombined(t *testing.T) {
+	mp := DefaultMetricPolicy()
+	up := DefaultUtilPolicy()
+	w := NewGlobalWI(100, &mp, nil, DefaultScaleOutConfig())
+	w.Util = &up
+	// Latency pressure triggers even when utilization is low (an
+	// IPC-insensitive proxy would have missed this, §III-Q1).
+	w.Observe("i0", InstanceMetrics{P99MS: 90, Util: 0.3})
+	d := w.Decide(wiNow)
+	if !d.Overclock["i0"] {
+		t.Fatal("latency trigger must fire regardless of utilization")
+	}
+	// Release requires BOTH latency and utilization to have recovered.
+	w.Observe("i0", InstanceMetrics{P99MS: 20, Util: 0.75})
+	d = w.Decide(wiNow.Add(OCMinOn + time.Second))
+	if !d.Overclock["i0"] {
+		t.Fatal("high utilization must hold the overclock despite low latency")
+	}
+	w.Observe("i0", InstanceMetrics{P99MS: 20, Util: 0.30})
+	d = w.Decide(wiNow.Add(OCMinOn + 2*time.Second))
+	if d.Overclock["i0"] {
+		t.Fatal("overclock must release when both signals recover")
+	}
+}

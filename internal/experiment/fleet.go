@@ -1,0 +1,575 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"smartoclock/internal/baselines"
+	"smartoclock/internal/core"
+	"smartoclock/internal/lifetime"
+	"smartoclock/internal/power"
+	"smartoclock/internal/predict"
+	"smartoclock/internal/timeseries"
+	"smartoclock/internal/trace"
+)
+
+// FleetSimConfig parameterizes the large-scale trace-driven simulation
+// behind Table I (§V-B).
+type FleetSimConfig struct {
+	Seed          int64
+	RacksPerClass int
+	// TrainDays of trace feed the templates; EvalDays are simulated with
+	// the agents running.
+	TrainDays, EvalDays int
+	// Step is the trace/simulation tick (the paper's traces are 5-minute).
+	Step time.Duration
+	// OCThreshold is the service utilization above which a VM's cores
+	// demand overclocking.
+	OCThreshold float64
+	// OCBudgetFraction is the weekly per-core overclock time allowance.
+	OCBudgetFraction float64
+
+	// The remaining knobs exist for ablation studies; zero values select
+	// the defaults used by Table I.
+
+	// TemplateStrategy picks the predictor behind power templates:
+	// "dailymed" (default), "dailymax", "flatmed", "flatmax" or "weekly".
+	TemplateStrategy string
+	// ExploreStepWatts overrides the sOA exploration increment.
+	ExploreStepWatts float64
+	// WarnFraction overrides the rack warning threshold.
+	WarnFraction float64
+}
+
+// DefaultFleetSimConfig returns a configuration sized to finish in seconds
+// while exercising every mechanism; scale RacksPerClass/EvalDays up on the
+// CLI for tighter statistics.
+func DefaultFleetSimConfig() FleetSimConfig {
+	return FleetSimConfig{
+		Seed:             1,
+		RacksPerClass:    6,
+		TrainDays:        7,
+		EvalDays:         5,
+		Step:             5 * time.Minute,
+		OCThreshold:      0.55,
+		OCBudgetFraction: 0.25,
+	}
+}
+
+// fleetStart is a Monday at midnight: training week is Mon-Sun, evaluation
+// starts the following Monday.
+var fleetStart = time.Date(2023, 4, 10, 0, 0, 0, 0, time.UTC)
+
+// traceHost replays a server's baseline power trace and adds the modeled
+// overclock power of whatever frequencies the agents set. It implements
+// core.Host for the sOA and power.Server for the rack manager, exactly as
+// the paper's simulator does: "Models are used to estimate the power impact
+// of overclocking; CPU utilization and core frequency are the input."
+type traceHost struct {
+	name        string
+	turbo       int
+	maxOC       int
+	stepMHz     int
+	minMHz      int
+	cores       int
+	ocCoreCost  float64
+	desired     []int
+	capLevel    int
+	basePower   float64 // current baseline (trace) watts
+	util        float64 // current mean utilization
+	capPriority int
+}
+
+func newTraceHost(st *trace.ServerTrace, capPriority int) *traceHost {
+	hw := st.Spec.HW
+	h := &traceHost{
+		name:        st.Spec.Name,
+		turbo:       hw.TurboMHz,
+		maxOC:       hw.MaxOCMHz,
+		stepMHz:     hw.StepMHz,
+		minMHz:      hw.MinMHz,
+		cores:       hw.Cores,
+		ocCoreCost:  hw.OCCoreCost(),
+		desired:     make([]int, hw.Cores),
+		capPriority: capPriority,
+	}
+	for i := range h.desired {
+		h.desired[i] = h.turbo
+	}
+	return h
+}
+
+func (h *traceHost) setTick(baseWatts, util float64) {
+	h.basePower = baseWatts
+	h.util = util
+}
+
+// core.Host.
+
+func (h *traceHost) Name() string              { return h.name }
+func (h *traceHost) NumCores() int             { return h.cores }
+func (h *traceHost) TurboMHz() int             { return h.turbo }
+func (h *traceHost) MaxOCMHz() int             { return h.maxOC }
+func (h *traceHost) StepMHz() int              { return h.stepMHz }
+func (h *traceHost) CoreUtil(core int) float64 { return h.util }
+
+func (h *traceHost) SetDesiredFreq(core, mhz int) {
+	if mhz < h.minMHz {
+		mhz = h.minMHz
+	}
+	if mhz > h.maxOC {
+		mhz = h.maxOC
+	}
+	h.desired[core] = mhz - mhz%h.stepMHz
+}
+
+func (h *traceHost) DesiredFreq(core int) int { return h.desired[core] }
+
+func (h *traceHost) capCeiling() int {
+	c := h.maxOC - h.capLevel*h.stepMHz
+	if c < h.minMHz {
+		c = h.minMHz
+	}
+	return c
+}
+
+func (h *traceHost) effectiveFreq(core int) int {
+	f := h.desired[core]
+	if c := h.capCeiling(); f > c {
+		f = c
+	}
+	return f
+}
+
+// ocFraction returns how far into the overclock range a frequency sits.
+func (h *traceHost) ocFraction(freq int) float64 {
+	if freq <= h.turbo {
+		return 0
+	}
+	return float64(freq-h.turbo) / float64(h.maxOC-h.turbo)
+}
+
+// Power models the server draw: the baseline trace scaled down when capped
+// below turbo, plus per-core overclock power scaled by utilization.
+func (h *traceHost) Power() float64 {
+	ceil := h.capCeiling()
+	base := h.basePower
+	if ceil < h.turbo {
+		base *= float64(ceil) / float64(h.turbo)
+	}
+	uf := h.util
+	if uf < 0.3 {
+		uf = 0.3 // static overclock cost never vanishes
+	}
+	oc := 0.0
+	for _, f := range h.desired {
+		if f > h.turbo {
+			eff := f
+			if eff > ceil {
+				eff = ceil
+			}
+			oc += h.ocCoreCost * h.ocFraction(eff) * uf
+		}
+	}
+	return base + oc
+}
+
+func (h *traceHost) OCDeltaWatts(cores, mhz int, util float64) float64 {
+	if mhz > h.maxOC {
+		mhz = h.maxOC
+	}
+	if util < 0.3 {
+		util = 0.3
+	}
+	return float64(cores) * h.ocCoreCost * h.ocFraction(mhz) * util
+}
+
+// power.Server.
+
+func (h *traceHost) CapPriority() int { return h.capPriority }
+func (h *traceHost) CapLevel() int    { return h.capLevel }
+func (h *traceHost) MaxCapLevel() int { return (h.maxOC - h.minMHz) / h.stepMHz }
+
+func (h *traceHost) ForceCap(level int) {
+	if level < 0 {
+		level = 0
+	}
+	if max := h.MaxCapLevel(); level > max {
+		level = max
+	}
+	h.capLevel = level
+}
+
+// meanFreqRatio returns the mean effective frequency across cores relative
+// to turbo — the per-server performance metric of Table I.
+func (h *traceHost) meanFreqRatio() float64 {
+	sum := 0.0
+	for i := range h.desired {
+		sum += float64(h.effectiveFreq(i))
+	}
+	return sum / float64(h.cores) / float64(h.turbo)
+}
+
+// hasOC reports whether any core is requested beyond turbo.
+func (h *traceHost) hasOC() bool {
+	for _, f := range h.desired {
+		if f > h.turbo {
+			return true
+		}
+	}
+	return false
+}
+
+// sessionEffectiveRatio returns the mean effective (post-cap) frequency of
+// a session's cores relative to turbo.
+func sessionEffectiveRatio(h *traceHost, s *core.Session) float64 {
+	if len(s.Cores) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, c := range s.Cores {
+		sum += float64(h.effectiveFreq(c))
+	}
+	return sum / float64(len(s.Cores)) / float64(h.turbo)
+}
+
+// Table1Row is one (system, class) cell set of Table I.
+type Table1Row struct {
+	System      baselines.System
+	Class       trace.ClusterClass
+	CapEvents   int
+	NormCaps    float64 // capping events normalized to Central
+	SuccessPct  float64 // successful overclocking request-ticks
+	PenaltyPct  float64 // mean frequency reduction of non-OC servers during caps
+	NormPerf    float64 // mean frequency ratio vs turbo baseline
+	Requests    int
+	RacksTested int
+}
+
+// demandSeries precomputes, per server, the number of cores demanding
+// overclocking at each evaluation tick: the user-facing VMs whose service
+// utilization exceeds the threshold.
+func demandSeries(st *trace.ServerTrace, cfg FleetSimConfig, evalStart time.Time, ticks int) []int {
+	out := make([]int, ticks)
+	for t := 0; t < ticks; t++ {
+		ts := evalStart.Add(time.Duration(t) * cfg.Step)
+		demand := 0
+		for _, vm := range st.Spec.VMs {
+			switch vm.Service.Pattern {
+			case trace.PatternSpiky, trace.PatternBroadPeak, trace.PatternDiurnal:
+				if vm.Service.UtilAt(ts, nil) >= cfg.OCThreshold {
+					demand += vm.Cores
+				}
+			}
+		}
+		if demand > st.Spec.HW.Cores {
+			demand = st.Spec.HW.Cores
+		}
+		out[t] = demand
+	}
+	return out
+}
+
+// predictorFor returns a fresh predictor for the configured strategy.
+func predictorFor(strategy string) predict.Predictor {
+	switch strategy {
+	case "", "dailymed":
+		return predict.NewDailyMed()
+	case "dailymax":
+		return predict.NewDailyMax()
+	case "flatmed":
+		return &predict.FlatMed{}
+	case "flatmax":
+		return &predict.FlatMax{}
+	case "weekly":
+		return &predict.Weekly{}
+	default:
+		return predict.NewDailyMed()
+	}
+}
+
+// templateFromPredictor fits p on train and materializes it as a week
+// template at the training series' step, so any predictor can drive the
+// template-shaped agent interfaces.
+func templateFromPredictor(p predict.Predictor, train *timeseries.Series) *timeseries.WeekTemplate {
+	p.Fit(train)
+	step := train.Step
+	slots := int(24 * time.Hour / step)
+	if slots < 1 {
+		slots = 1
+	}
+	mk := func(ref time.Time, kind timeseries.DayKind) *timeseries.DayTemplate {
+		t := &timeseries.DayTemplate{Step: step, Kind: kind, Slots: make([]float64, slots)}
+		for i := range t.Slots {
+			t.Slots[i] = p.Predict(ref.Add(time.Duration(i) * step))
+		}
+		return t
+	}
+	// Reference instants in the week immediately after training (what the
+	// templates will be queried for).
+	monday := train.End()
+	for monday.Weekday() != time.Monday {
+		monday = monday.Add(24 * time.Hour)
+	}
+	saturday := monday.Add(5 * 24 * time.Hour)
+	return &timeseries.WeekTemplate{
+		Weekday: mk(monday, timeseries.Weekdays),
+		Weekend: mk(saturday, timeseries.Weekends),
+	}
+}
+
+// rackRun simulates one rack under one system for the evaluation window
+// and returns its metric contributions.
+func rackRun(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConfig) (caps, requests, successes int, penaltySum float64, penaltyN int, perfSum float64, perfN int) {
+	evalStart := fleetStart.Add(time.Duration(cfg.TrainDays) * 24 * time.Hour)
+	ticks := cfg.EvalDays * int(24*time.Hour/cfg.Step)
+
+	// Build hosts, templates and demand.
+	hosts := make([]*traceHost, len(rt.Servers))
+	demands := make([][]int, len(rt.Servers))
+	soas := make([]*core.SOA, len(rt.Servers))
+
+	rackCfg := power.DefaultRackConfig(rt.Name, rt.LimitWatts)
+	if cfg.WarnFraction > 0 {
+		rackCfg.WarnFraction = cfg.WarnFraction
+		if rackCfg.RestoreFraction > cfg.WarnFraction {
+			rackCfg.RestoreFraction = cfg.WarnFraction - 0.03
+		}
+	}
+	var servers []power.Server
+	for i, st := range rt.Servers {
+		hosts[i] = newTraceHost(st, 0)
+		servers = append(servers, hosts[i])
+		demands[i] = demandSeries(st, cfg, evalStart, ticks)
+	}
+	rack := power.NewRack(rackCfg, servers...)
+
+	// Global Overclocking Agent: training-week templates per server.
+	goa := core.NewGOA(rt.Name, rt.LimitWatts)
+	trainEnd := evalStart
+	for i, st := range rt.Servers {
+		train := st.Power.Slice(fleetStart, trainEnd)
+		powerTpl := templateFromPredictor(predictorFor(cfg.TemplateStrategy), train)
+		// Overclock template from the training week's demand (granted = 0
+		// during training: the baseline trace has no overclocking).
+		trainTicks := cfg.TrainDays * int(24*time.Hour/cfg.Step)
+		rec := predict.NewOCRecorder(fleetStart, cfg.Step)
+		trainDemand := demandSeries(st, cfg, fleetStart, trainTicks)
+		for _, d := range trainDemand {
+			rec.Record(d, 0)
+		}
+		goa.SetProfile(st.Spec.Name, core.ServerProfile{
+			Power:      powerTpl,
+			OC:         rec.Template(),
+			OCCoreCost: st.Spec.HW.OCCoreCost(),
+		})
+		_ = i
+	}
+	budgetTpls := goa.BudgetTemplates(cfg.Step)
+
+	// Server Overclocking Agents.
+	soaBase := core.DefaultSOAConfig()
+	soaBase.ProfileStep = cfg.Step
+	soaBase.ExploreConfirm = cfg.Step
+	soaBase.ExploitTime = 6 * cfg.Step
+	soaBase.InitialBackoff = cfg.Step
+	soaBase.MaxBackoff = 12 * cfg.Step
+	// One tick stands for ~10 of the paper's 30-second exploration rounds,
+	// so each bump is correspondingly larger.
+	soaBase.ExploreStepWatts = 40
+	if cfg.ExploreStepWatts > 0 {
+		soaBase.ExploreStepWatts = cfg.ExploreStepWatts
+	}
+	if cfg.ExploreStepWatts < 0 {
+		soaBase.ExploreStepWatts = 0
+		soaBase.NoExplore = true
+	}
+	soaBase.DefaultOCHorizon = 15 * time.Minute
+	soaBase.AdmissionUtil = 0.7
+	soaBase.BufferWatts = 15
+
+	oracle := func(extra float64) bool {
+		return rack.Power()+extra <= rt.LimitWatts
+	}
+	bcfg := lifetime.BudgetConfig{
+		Epoch: 7 * 24 * time.Hour, Fraction: cfg.OCBudgetFraction,
+		CarryOver: true, MaxCarryOver: 1,
+	}
+	for i, st := range rt.Servers {
+		scfg := baselines.SOAConfig(sys, soaBase, oracle)
+		budgets := lifetime.NewCoreBudgets(bcfg, st.Spec.HW.Cores, evalStart)
+		even := rt.LimitWatts / float64(len(rt.Servers))
+		if sys == baselines.Central {
+			// The oracle performs all admission; no local budget
+			// enforcement should second-guess it.
+			even = 1e9
+		}
+		soas[i] = core.NewSOA(scfg, hosts[i], budgets, even, evalStart)
+		switch sys {
+		case baselines.NaiveOClock, baselines.Central:
+			// Even share; Central admits via the oracle anyway.
+		default:
+			soas[i].SetAssignedBudget(budgetTpls[st.Spec.Name])
+		}
+		train := st.Power.Slice(fleetStart, trainEnd)
+		soas[i].SetPowerTemplate(templateFromPredictor(predictorFor(cfg.TemplateStrategy), train))
+	}
+
+	// Rack events feed every sOA; caps are counted by the rack itself.
+	var now time.Time
+	rack.Subscribe(func(ev power.Event) {
+		for _, a := range soas {
+			a.OnRackEvent(now, ev)
+		}
+	})
+
+	trainOffset := cfg.TrainDays * int(24*time.Hour/cfg.Step)
+	for t := 0; t < ticks; t++ {
+		now = evalStart.Add(time.Duration(t) * cfg.Step)
+		// 1. Update baselines from the trace.
+		for i, st := range rt.Servers {
+			idx := trainOffset + t
+			if idx >= st.Power.Len() {
+				idx = st.Power.Len() - 1
+			}
+			hosts[i].setTick(st.Power.Values[idx], st.Util.Values[idx])
+		}
+		// 2. Demand changes → session management + admission. Unmet
+		// demand retries every tick (the WI agent keeps asking), which
+		// is also what drives the sOA's exploration.
+		for i := range rt.Servers {
+			d := demands[i][t]
+			sessions := soas[i].Sessions()
+			_, active := sessions["oc"]
+			prev := 0
+			if active {
+				prev = len(sessions["oc"].Cores)
+			}
+			if d != prev {
+				if active {
+					soas[i].Stop(now, "oc")
+				}
+				if d > 0 {
+					soas[i].Request(now, core.Request{
+						VM: "oc", Cores: d, TargetMHz: hosts[i].maxOC,
+						Priority: core.PriorityMetric,
+					})
+				}
+			}
+			if d > 0 {
+				requests++
+				s, ok := soas[i].Sessions()["oc"]
+				if ok && sessionEffectiveRatio(hosts[i], s) > 1 {
+					successes++
+				}
+			}
+		}
+		// 3. sOA control loops.
+		for _, a := range soas {
+			a.Tick(now)
+		}
+		// 4. Rack manager: warnings, caps, restores.
+		capsBefore := rack.CapEvents()
+		rack.Tick(now)
+		capped := rack.CapEvents() > capsBefore
+		// 5. Metrics. Performance is measured over the overclock-candidate
+		// VMs: their effective frequency relative to turbo, including any
+		// capping penalty. The capping penalty itself is measured on the
+		// servers with no overclock demand.
+		for i := range hosts {
+			if demands[i][t] > 0 {
+				if s, ok := soas[i].Sessions()["oc"]; ok {
+					perfSum += sessionEffectiveRatio(hosts[i], s)
+				} else {
+					ceil := hosts[i].capCeiling()
+					if ceil > hosts[i].turbo {
+						ceil = hosts[i].turbo
+					}
+					perfSum += float64(ceil) / float64(hosts[i].turbo)
+				}
+				perfN++
+			} else if capped && !hosts[i].hasOC() {
+				ceil := hosts[i].capCeiling()
+				if ceil < hosts[i].turbo {
+					penaltySum += 1 - float64(ceil)/float64(hosts[i].turbo)
+					penaltyN++
+				}
+			}
+		}
+	}
+	return rack.CapEvents(), requests, successes, penaltySum, penaltyN, perfSum, perfN
+}
+
+// RunTable1 reproduces Table I: five systems across the three power
+// classes.
+func RunTable1(cfg FleetSimConfig) (*Table, []Table1Row, error) {
+	days := cfg.TrainDays + cfg.EvalDays
+	classes := []trace.ClusterClass{trace.HighPower, trace.MediumPower, trace.LowPower}
+	var rows []Table1Row
+	for ci, class := range classes {
+		// One mini-fleet per class guarantees exact class coverage at any
+		// scale.
+		fcfg := trace.DefaultFleetConfig(fleetStart, time.Duration(days)*24*time.Hour)
+		fcfg.Seed = cfg.Seed + int64(ci)
+		fcfg.Regions = []string{"SimRegion"}
+		fcfg.RacksPerRegion = cfg.RacksPerClass
+		fcfg.Step = cfg.Step
+		fcfg.ClassMix = map[trace.ClusterClass]float64{class: 1}
+		fleet, err := trace.GenFleet(fcfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		racks := fleet.ByClass(class)
+		centralCaps := 0
+		classRows := make([]Table1Row, 0, len(baselines.All()))
+		for _, sys := range baselines.All() {
+			var caps, reqs, succ, penN, perfN int
+			var penSum, perfSum float64
+			for _, fr := range racks {
+				c, r, s, ps, pn, fs, fn := rackRun(fr.RackTrace, sys, cfg)
+				caps += c
+				reqs += r
+				succ += s
+				penSum += ps
+				penN += pn
+				perfSum += fs
+				perfN += fn
+			}
+			row := Table1Row{System: sys, Class: class, CapEvents: caps, Requests: reqs, RacksTested: len(racks)}
+			if reqs > 0 {
+				row.SuccessPct = 100 * float64(succ) / float64(reqs)
+			}
+			if penN > 0 {
+				row.PenaltyPct = 100 * penSum / float64(penN)
+			}
+			if perfN > 0 {
+				row.NormPerf = perfSum / float64(perfN)
+			}
+			if sys == baselines.Central {
+				centralCaps = caps
+			}
+			classRows = append(classRows, row)
+		}
+		denom := centralCaps
+		if denom < 1 {
+			denom = 1 // a capless oracle: report absolute counts
+		}
+		for i := range classRows {
+			classRows[i].NormCaps = float64(classRows[i].CapEvents) / float64(denom)
+		}
+		rows = append(rows, classRows...)
+	}
+
+	tbl := &Table{
+		Caption: "Table I: Comparison of SmartOClock to different baselines",
+		Headers: []string{"Cluster", "System", "Norm.#PowerCaps", "SuccessfulOClockReqs", "PenaltyOnPowerCap", "Norm.Performance"},
+	}
+	for _, r := range rows {
+		tbl.AddRow(r.Class.String(), r.System.String(),
+			fmt.Sprintf("%.1f", r.NormCaps),
+			fmt.Sprintf("%.0f%%", r.SuccessPct),
+			fmt.Sprintf("%.0f%%", r.PenaltyPct),
+			fmt.Sprintf("%.3f", r.NormPerf))
+	}
+	return tbl, rows, nil
+}

@@ -1,0 +1,363 @@
+// Package machine simulates the server hardware SmartOClock controls:
+// per-core DVFS actuators, utilization and power sensors, and PMT-like
+// time-in-state counters.
+//
+// On real hardware the Server Overclocking Agent reads Intel PMT / AMD HSMP
+// telemetry and sets frequencies through ACPI CPPC. This package exposes the
+// same operations — set a core's frequency, read the server's power draw,
+// read cumulative overclocked time — against a calibrated analytical power
+// model, so the agent code above it is identical to what would run on metal.
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Config describes a server model. All frequencies are in MHz.
+type Config struct {
+	// Cores is the number of physical cores.
+	Cores int
+	// TurboMHz is the maximum vendor-supported (turbo) frequency; cloud
+	// CPUs in performance mode run at this frequency when unconstrained.
+	TurboMHz int
+	// MaxOCMHz is the maximum overclocked frequency validated with vendors.
+	MaxOCMHz int
+	// MinMHz is the lowest frequency the capping mechanism may force.
+	MinMHz int
+	// StepMHz is the DVFS step granularity (the paper uses 100 MHz steps).
+	StepMHz int
+
+	// IdleWatts is platform static power (fans, DRAM refresh, uncore) at
+	// nominal voltage, independent of core activity.
+	IdleWatts float64
+	// StaticCoreWatts is per-core leakage at turbo voltage.
+	StaticCoreWatts float64
+	// DynCoreWatts is per-core dynamic power at turbo frequency and 100%
+	// utilization.
+	DynCoreWatts float64
+	// VoltSlope is the relative voltage increase per relative frequency
+	// increase beyond turbo (dV/V per df/f). Overclocking raises voltage,
+	// which is what makes its power cost superlinear.
+	VoltSlope float64
+}
+
+// DefaultConfig models the paper's evaluation servers: 64-core AMD parts
+// with 3.3 GHz turbo and 4.0 GHz maximum overclock. The power constants are
+// calibrated so overclocking a fully-utilized core costs ≈10 W (§IV-C's
+// worked example: 5 cores ⇒ +50 W).
+func DefaultConfig() Config {
+	return Config{
+		Cores:           64,
+		TurboMHz:        3300,
+		MaxOCMHz:        4000,
+		MinMHz:          1500,
+		StepMHz:         100,
+		IdleWatts:       100,
+		StaticCoreWatts: 1.5,
+		DynCoreWatts:    7.0,
+		VoltSlope:       1.3,
+	}
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores <= 0:
+		return fmt.Errorf("machine: Cores = %d, must be positive", c.Cores)
+	case c.StepMHz <= 0:
+		return fmt.Errorf("machine: StepMHz = %d, must be positive", c.StepMHz)
+	case c.MinMHz <= 0 || c.MinMHz > c.TurboMHz:
+		return fmt.Errorf("machine: MinMHz = %d out of range (turbo %d)", c.MinMHz, c.TurboMHz)
+	case c.MaxOCMHz < c.TurboMHz:
+		return fmt.Errorf("machine: MaxOCMHz = %d below turbo %d", c.MaxOCMHz, c.TurboMHz)
+	case c.IdleWatts < 0 || c.StaticCoreWatts < 0 || c.DynCoreWatts <= 0:
+		return fmt.Errorf("machine: power constants must be non-negative (dyn positive)")
+	}
+	return nil
+}
+
+// VoltageRatio returns V(f)/V(turbo) for frequency mhz. At or below turbo
+// the ratio is 1 (cloud parts run a fixed performance-mode voltage);
+// beyond turbo it rises linearly with the frequency overshoot.
+func (c Config) VoltageRatio(mhz int) float64 {
+	if mhz <= c.TurboMHz {
+		return 1
+	}
+	over := float64(mhz-c.TurboMHz) / float64(c.TurboMHz)
+	return 1 + c.VoltSlope*over
+}
+
+// ClampFreq clamps mhz into [MinMHz, MaxOCMHz] and aligns it down to the
+// step granularity.
+func (c Config) ClampFreq(mhz int) int {
+	if mhz < c.MinMHz {
+		mhz = c.MinMHz
+	}
+	if mhz > c.MaxOCMHz {
+		mhz = c.MaxOCMHz
+	}
+	return mhz - mhz%c.StepMHz
+}
+
+// CorePower returns the power of one core at frequency mhz and utilization
+// util in [0,1]: leakage scales with V², dynamic power with f·V².
+func (c Config) CorePower(mhz int, util float64) float64 {
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	vr := c.VoltageRatio(mhz)
+	v2 := vr * vr
+	fr := float64(mhz) / float64(c.TurboMHz)
+	return c.StaticCoreWatts*v2 + c.DynCoreWatts*fr*v2*util
+}
+
+// OCCoreCost returns the extra power of running one fully-utilized core at
+// MaxOCMHz instead of TurboMHz — the per-core overclock cost the Global
+// Overclocking Agent uses when splitting headroom.
+func (c Config) OCCoreCost() float64 {
+	return c.CorePower(c.MaxOCMHz, 1) - c.CorePower(c.TurboMHz, 1)
+}
+
+// Machine is one simulated server.
+type Machine struct {
+	cfg       Config
+	coreFreq  []int
+	coreUtil  []float64
+	coreMaxOC []int // per-core maximum frequency (silicon variability, §VI)
+	ocTime    []time.Duration
+	energy    float64 // joules
+	elapsed   time.Duration
+}
+
+// New creates a machine from cfg with all cores at turbo and idle.
+// It panics on an invalid configuration (a construction-time programming
+// error, matching the package's hardware-bringup role).
+func New(cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{
+		cfg:       cfg,
+		coreFreq:  make([]int, cfg.Cores),
+		coreUtil:  make([]float64, cfg.Cores),
+		coreMaxOC: make([]int, cfg.Cores),
+		ocTime:    make([]time.Duration, cfg.Cores),
+	}
+	for i := range m.coreFreq {
+		m.coreFreq[i] = cfg.TurboMHz
+		m.coreMaxOC[i] = cfg.MaxOCMHz
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Cores returns the number of cores.
+func (m *Machine) Cores() int { return m.cfg.Cores }
+
+// SetFreq sets core i's frequency (clamped to the machine range, the
+// core's individual maximum, and step-aligned) and returns the applied
+// value.
+func (m *Machine) SetFreq(i int, mhz int) int {
+	f := m.cfg.ClampFreq(mhz)
+	if f > m.coreMaxOC[i] {
+		f = m.coreMaxOC[i]
+	}
+	m.coreFreq[i] = f
+	return f
+}
+
+// SetCoreMaxOC sets core i's individual maximum frequency: silicon
+// variability means some cores can run faster than others, a property
+// server parts do not normally expose but §VI's vendor engagements aim to
+// leverage (ACPI CPPC preferred cores). The value is clamped to
+// [TurboMHz, MaxOCMHz] and step-aligned; the core's current frequency is
+// re-clamped.
+func (m *Machine) SetCoreMaxOC(i int, mhz int) int {
+	if mhz < m.cfg.TurboMHz {
+		mhz = m.cfg.TurboMHz
+	}
+	if mhz > m.cfg.MaxOCMHz {
+		mhz = m.cfg.MaxOCMHz
+	}
+	mhz -= mhz % m.cfg.StepMHz
+	m.coreMaxOC[i] = mhz
+	if m.coreFreq[i] > mhz {
+		m.coreFreq[i] = mhz
+	}
+	return mhz
+}
+
+// CoreMaxOC returns core i's individual maximum frequency.
+func (m *Machine) CoreMaxOC(i int) int { return m.coreMaxOC[i] }
+
+// RandomizeCoreMaxOC assigns each core an individual maximum drawn
+// uniformly from [minMHz, MaxOCMHz] (step-aligned), modelling
+// manufacturing variability. It uses the provided deterministic source.
+func (m *Machine) RandomizeCoreMaxOC(rng *rand.Rand, minMHz int) {
+	if minMHz < m.cfg.TurboMHz {
+		minMHz = m.cfg.TurboMHz
+	}
+	span := (m.cfg.MaxOCMHz - minMHz) / m.cfg.StepMHz
+	for i := range m.coreMaxOC {
+		mhz := minMHz
+		if span > 0 {
+			mhz += rng.Intn(span+1) * m.cfg.StepMHz
+		}
+		m.SetCoreMaxOC(i, mhz)
+	}
+}
+
+// FastestCores returns the indices of the n cores with the highest
+// individual maximum frequencies (ties broken by index) — the "preferred
+// cores" a §VI-style scheduler would target first.
+func (m *Machine) FastestCores(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if n > len(m.coreMaxOC) {
+		n = len(m.coreMaxOC)
+	}
+	idx := make([]int, len(m.coreMaxOC))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return m.coreMaxOC[idx[a]] > m.coreMaxOC[idx[b]]
+	})
+	out := make([]int, n)
+	copy(out, idx[:n])
+	return out
+}
+
+// SetFreqRange sets cores [lo, hi) to mhz.
+func (m *Machine) SetFreqRange(lo, hi, mhz int) {
+	for i := lo; i < hi && i < len(m.coreFreq); i++ {
+		m.SetFreq(i, mhz)
+	}
+}
+
+// SetFreqAll sets every core to mhz.
+func (m *Machine) SetFreqAll(mhz int) { m.SetFreqRange(0, len(m.coreFreq), mhz) }
+
+// Freq returns core i's current frequency in MHz.
+func (m *Machine) Freq(i int) int { return m.coreFreq[i] }
+
+// SetUtil sets core i's utilization in [0,1] (clamped).
+func (m *Machine) SetUtil(i int, u float64) {
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	m.coreUtil[i] = u
+}
+
+// Util returns core i's utilization.
+func (m *Machine) Util(i int) float64 { return m.coreUtil[i] }
+
+// MeanUtil returns the mean utilization across all cores.
+func (m *Machine) MeanUtil() float64 {
+	sum := 0.0
+	for _, u := range m.coreUtil {
+		sum += u
+	}
+	return sum / float64(len(m.coreUtil))
+}
+
+// IsOverclocked reports whether core i runs beyond turbo.
+func (m *Machine) IsOverclocked(i int) bool { return m.coreFreq[i] > m.cfg.TurboMHz }
+
+// OverclockedCores returns how many cores currently run beyond turbo.
+func (m *Machine) OverclockedCores() int {
+	n := 0
+	for i := range m.coreFreq {
+		if m.IsOverclocked(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// CorePower returns core i's instantaneous power draw in watts.
+func (m *Machine) CorePower(i int) float64 {
+	return m.cfg.CorePower(m.coreFreq[i], m.coreUtil[i])
+}
+
+// Power returns the server's instantaneous power draw in watts: the sensor
+// an sOA polls.
+func (m *Machine) Power() float64 {
+	p := m.cfg.IdleWatts
+	for i := range m.coreFreq {
+		p += m.CorePower(i)
+	}
+	return p
+}
+
+// Advance integrates time forward by dt: accumulates energy and the PMT-like
+// per-core overclocked time-in-state counters. It panics on negative dt.
+func (m *Machine) Advance(dt time.Duration) {
+	if dt < 0 {
+		panic(fmt.Sprintf("machine: negative Advance %v", dt))
+	}
+	m.energy += m.Power() * dt.Seconds()
+	for i := range m.coreFreq {
+		if m.IsOverclocked(i) {
+			m.ocTime[i] += dt
+		}
+	}
+	m.elapsed += dt
+}
+
+// OCTime returns core i's cumulative overclocked time-in-state — the
+// counter a real deployment reads through Intel PMT or AMD HSMP.
+func (m *Machine) OCTime(i int) time.Duration { return m.ocTime[i] }
+
+// TotalOCCoreSeconds returns the sum of overclocked time across cores, in
+// core-seconds.
+func (m *Machine) TotalOCCoreSeconds() float64 {
+	var total float64
+	for _, d := range m.ocTime {
+		total += d.Seconds()
+	}
+	return total
+}
+
+// Energy returns cumulative energy in joules since construction.
+func (m *Machine) Energy() float64 { return m.energy }
+
+// Elapsed returns total simulated time advanced.
+func (m *Machine) Elapsed() time.Duration { return m.elapsed }
+
+// MaxPower returns the server's power with every core fully utilized at
+// frequency mhz — used for worst-case admission checks.
+func (m *Machine) MaxPower(mhz int) float64 {
+	return m.cfg.IdleWatts + float64(m.cfg.Cores)*m.cfg.CorePower(m.cfg.ClampFreq(mhz), 1)
+}
+
+// PredictPower returns the modeled server power if ocCores cores ran
+// overclocked at ocMHz with utilization ocUtil while the rest stay at turbo
+// with utilization baseUtil. This is the "power model" the agents use to
+// estimate the impact of overclocking (§V-B: "Models are used to estimate
+// the power impact of overclocking; CPU utilization and core frequency are
+// the input").
+func (c Config) PredictPower(ocCores int, ocMHz int, ocUtil float64, baseUtil float64) float64 {
+	if ocCores < 0 {
+		ocCores = 0
+	}
+	if ocCores > c.Cores {
+		ocCores = c.Cores
+	}
+	p := c.IdleWatts
+	p += float64(ocCores) * c.CorePower(c.ClampFreq(ocMHz), ocUtil)
+	p += float64(c.Cores-ocCores) * c.CorePower(c.TurboMHz, baseUtil)
+	return p
+}

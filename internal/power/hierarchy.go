@@ -1,0 +1,98 @@
+package power
+
+import (
+	"fmt"
+)
+
+// Node is one level of the power-delivery hierarchy (datacenter → row →
+// rack → server). Providers split each parent's budget equally among its
+// children and oversubscribe: the sum of children's peak draws may exceed
+// the parent's budget (§II).
+type Node struct {
+	Name     string
+	Budget   float64 // watts provisioned for this node
+	PeakDraw float64 // observed or rated peak draw, for oversubscription accounting
+	Children []*Node
+}
+
+// NewNode creates a hierarchy node.
+func NewNode(name string, budget float64) *Node {
+	return &Node{Name: name, Budget: budget}
+}
+
+// Add appends child nodes and returns n for chaining.
+func (n *Node) Add(children ...*Node) *Node {
+	n.Children = append(n.Children, children...)
+	return n
+}
+
+// EvenShare returns the equal split of this node's budget across its
+// children — the provider's default assignment the paper improves upon
+// with heterogeneous budgets. It returns 0 for a leaf.
+func (n *Node) EvenShare() float64 {
+	if len(n.Children) == 0 {
+		return 0
+	}
+	return n.Budget / float64(len(n.Children))
+}
+
+// ApplyEvenShare assigns every child the even share of this node's budget,
+// recursively.
+func (n *Node) ApplyEvenShare() {
+	share := n.EvenShare()
+	for _, c := range n.Children {
+		c.Budget = share
+		c.ApplyEvenShare()
+	}
+}
+
+// Oversubscription returns the ratio of the children's summed peak draw to
+// this node's budget. Values above 1 mean the level is oversubscribed and
+// relies on statistical multiplexing plus capping for safety.
+func (n *Node) Oversubscription() float64 {
+	if n.Budget <= 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range n.Children {
+		sum += c.PeakDraw
+	}
+	return sum / n.Budget
+}
+
+// Walk visits n and every descendant in depth-first order.
+func (n *Node) Walk(visit func(*Node)) {
+	visit(n)
+	for _, c := range n.Children {
+		c.Walk(visit)
+	}
+}
+
+// Find returns the first descendant (or n itself) with the given name.
+func (n *Node) Find(name string) (*Node, bool) {
+	var found *Node
+	n.Walk(func(m *Node) {
+		if found == nil && m.Name == name {
+			found = m
+		}
+	})
+	if found == nil {
+		return nil, false
+	}
+	return found, true
+}
+
+// Validate checks that no child budget exceeds its parent's budget (a
+// provisioning error) anywhere in the tree.
+func (n *Node) Validate() error {
+	for _, c := range n.Children {
+		if c.Budget > n.Budget {
+			return fmt.Errorf("power: child %q budget %.0fW exceeds parent %q budget %.0fW",
+				c.Name, c.Budget, n.Name, n.Budget)
+		}
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

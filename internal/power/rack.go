@@ -1,0 +1,293 @@
+// Package power models the datacenter power-delivery side of SmartOClock:
+// racks with shared power limits, the rack manager's warning messages, and
+// the prioritized capping mechanism that protects the limit.
+//
+// The contract matches the paper (§II, §IV-D): under normal operation
+// servers may collectively draw anything below the rack limit; when the draw
+// reaches a warning threshold (e.g. 95% of the limit) the rack manager sends
+// a warning message to every Server Overclocking Agent; when the draw
+// reaches the limit itself, a power capping event occurs and server
+// frequencies are throttled — lowest-priority servers first — until the
+// rack is safe again.
+package power
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Server is the rack manager's view of one server: a power sensor plus a
+// capping actuator. The cluster package provides implementations.
+type Server interface {
+	// Name identifies the server within the rack.
+	Name() string
+	// Power returns the server's instantaneous power draw in watts.
+	Power() float64
+	// CapPriority orders capping: servers with a LOWER value are throttled
+	// first. The paper's prioritized capping protects critical workloads by
+	// giving them higher values.
+	CapPriority() int
+	// ForceCap imposes a frequency ceiling "level" DVFS steps below turbo.
+	// Level 0 removes the cap. Implementations clamp to MaxCapLevel.
+	ForceCap(level int)
+	// CapLevel returns the currently imposed cap level.
+	CapLevel() int
+	// MaxCapLevel returns the deepest cap level the hardware supports.
+	MaxCapLevel() int
+}
+
+// EventKind distinguishes rack manager notifications.
+type EventKind int
+
+const (
+	// EventWarning is sent when rack power crosses the warning threshold.
+	// Exploring sOAs react by backing off; others ignore it (§IV-D).
+	EventWarning EventKind = iota
+	// EventCap is sent when rack power reaches the limit and capping is
+	// applied.
+	EventCap
+	// EventRelease is sent when a previously applied cap is fully removed.
+	EventRelease
+)
+
+// String returns the event kind's name.
+func (k EventKind) String() string {
+	switch k {
+	case EventWarning:
+		return "warning"
+	case EventCap:
+		return "cap"
+	case EventRelease:
+		return "release"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is a rack manager notification delivered to subscribers.
+type Event struct {
+	Kind  EventKind
+	Time  time.Time
+	Rack  string
+	Power float64 // rack draw when the event fired, watts
+	Limit float64 // rack power limit, watts
+}
+
+// RackConfig parameterizes a rack manager.
+type RackConfig struct {
+	// Name identifies the rack.
+	Name string
+	// LimitWatts is the rack's power budget.
+	LimitWatts float64
+	// WarnFraction of the limit at which warning messages are sent
+	// (the paper uses 95%).
+	WarnFraction float64
+	// TargetFraction of the limit capping throttles down to. Emergency
+	// capping is deliberately deep (the paper reports 30-50%% frequency
+	// degradation during events, §III-Q2) so the rack is safe even if
+	// load keeps rising within one control period.
+	TargetFraction float64
+	// RestoreFraction of the limit below which applied caps are relaxed
+	// one level per tick. It sits just under the warning threshold:
+	// whenever the rack has headroom, caps recover gradually, so a
+	// workload that keeps pushing causes recurring capping events rather
+	// than a permanent throttle.
+	RestoreFraction float64
+}
+
+// DefaultRackConfig returns the configuration used across the evaluation:
+// warnings at 95% of the limit, emergency capping down to 78%, gradual
+// restore while below 85%.
+func DefaultRackConfig(name string, limitWatts float64) RackConfig {
+	return RackConfig{
+		Name:            name,
+		LimitWatts:      limitWatts,
+		WarnFraction:    0.95,
+		TargetFraction:  0.78,
+		RestoreFraction: 0.92,
+	}
+}
+
+// Validate reports whether the configuration is consistent.
+func (c RackConfig) Validate() error {
+	switch {
+	case c.LimitWatts <= 0:
+		return fmt.Errorf("power: LimitWatts = %v, must be positive", c.LimitWatts)
+	case c.WarnFraction <= 0 || c.WarnFraction > 1:
+		return fmt.Errorf("power: WarnFraction = %v out of (0,1]", c.WarnFraction)
+	case c.TargetFraction <= 0 || c.TargetFraction > c.WarnFraction:
+		return fmt.Errorf("power: TargetFraction = %v must be in (0, WarnFraction]", c.TargetFraction)
+	case c.RestoreFraction < 0 || c.RestoreFraction > c.WarnFraction:
+		return fmt.Errorf("power: RestoreFraction = %v must be in [0, WarnFraction]", c.RestoreFraction)
+	}
+	return nil
+}
+
+// Rack is the rack manager: it polls server power, emits warnings, applies
+// prioritized capping and tracks statistics.
+type Rack struct {
+	cfg     RackConfig
+	servers []Server
+	subs    []func(Event)
+
+	capEvents   int
+	warnings    int
+	capped      bool
+	cappedTime  time.Duration
+	lastTick    time.Time
+	hasLastTick bool
+}
+
+// NewRack creates a rack manager. It panics on invalid configuration.
+func NewRack(cfg RackConfig, servers ...Server) *Rack {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Rack{cfg: cfg, servers: servers}
+}
+
+// Config returns the rack's configuration.
+func (r *Rack) Config() RackConfig { return r.cfg }
+
+// Name returns the rack's name.
+func (r *Rack) Name() string { return r.cfg.Name }
+
+// Servers returns the managed servers.
+func (r *Rack) Servers() []Server { return r.servers }
+
+// AddServer registers an additional server.
+func (r *Rack) AddServer(s Server) { r.servers = append(r.servers, s) }
+
+// Subscribe registers fn to receive rack events. Subscriptions cannot be
+// removed; subscribers that go away should ignore events.
+func (r *Rack) Subscribe(fn func(Event)) { r.subs = append(r.subs, fn) }
+
+// Power returns the rack's instantaneous total draw in watts.
+func (r *Rack) Power() float64 {
+	total := 0.0
+	for _, s := range r.servers {
+		total += s.Power()
+	}
+	return total
+}
+
+// Utilization returns current draw as a fraction of the limit.
+func (r *Rack) Utilization() float64 { return r.Power() / r.cfg.LimitWatts }
+
+// CapEvents returns the number of capping events so far.
+func (r *Rack) CapEvents() int { return r.capEvents }
+
+// Warnings returns the number of warning messages sent so far.
+func (r *Rack) Warnings() int { return r.warnings }
+
+// CappedTime returns total time spent with at least one cap applied.
+func (r *Rack) CappedTime() time.Duration { return r.cappedTime }
+
+// IsCapped reports whether any server currently has a forced cap.
+func (r *Rack) IsCapped() bool {
+	for _, s := range r.servers {
+		if s.CapLevel() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Rack) emit(ev Event) {
+	for _, fn := range r.subs {
+		fn(ev)
+	}
+}
+
+// Tick runs one rack-manager control cycle at time now: measure, warn,
+// cap or restore. Call it at a fixed cadence from the simulation.
+func (r *Rack) Tick(now time.Time) {
+	if r.hasLastTick && r.IsCapped() {
+		r.cappedTime += now.Sub(r.lastTick)
+	}
+	r.lastTick = now
+	r.hasLastTick = true
+
+	p := r.Power()
+	limit := r.cfg.LimitWatts
+	switch {
+	case p >= limit:
+		// A real rack manager polls far faster than our tick, so the
+		// draw crossed the warning threshold before reaching the limit:
+		// deliver warnings first and let subscribers shed load round by
+		// round; only if the rack stays over the limit does capping
+		// trigger. Subscribers that ignore warnings (or have nothing
+		// left to shed) make no progress and get capped.
+		for rounds := 0; p >= limit && rounds < 10; rounds++ {
+			r.warnings++
+			r.emit(Event{Kind: EventWarning, Time: now, Rack: r.cfg.Name, Power: p, Limit: limit})
+			next := r.Power()
+			if next >= p {
+				break // nobody is shedding
+			}
+			p = next
+		}
+		if p < limit {
+			break
+		}
+		r.capEvents++
+		r.applyCapping(p)
+		r.emit(Event{Kind: EventCap, Time: now, Rack: r.cfg.Name, Power: p, Limit: limit})
+	case p >= r.cfg.WarnFraction*limit:
+		r.warnings++
+		r.emit(Event{Kind: EventWarning, Time: now, Rack: r.cfg.Name, Power: p, Limit: limit})
+	case p < r.cfg.RestoreFraction*limit:
+		if r.relaxCapping() && !r.IsCapped() {
+			r.emit(Event{Kind: EventRelease, Time: now, Rack: r.cfg.Name, Power: r.Power(), Limit: limit})
+		}
+	}
+}
+
+// applyCapping escalates cap levels, lowest CapPriority first, until the
+// modeled rack power drops below the target fraction of the limit or every
+// server is fully throttled.
+func (r *Rack) applyCapping(current float64) {
+	target := r.cfg.TargetFraction * r.cfg.LimitWatts
+	ordered := make([]Server, len(r.servers))
+	copy(ordered, r.servers)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].CapPriority() < ordered[j].CapPriority()
+	})
+	for current > target {
+		progressed := false
+		for _, s := range ordered {
+			if current <= target {
+				break
+			}
+			if s.CapLevel() >= s.MaxCapLevel() {
+				continue
+			}
+			s.ForceCap(s.CapLevel() + 1)
+			progressed = true
+			current = r.Power()
+		}
+		if !progressed {
+			break // everything at the floor; nothing more we can do
+		}
+	}
+}
+
+// relaxCapping lowers cap levels one step on every capped server,
+// highest CapPriority first so important servers recover sooner.
+// It reports whether any cap level changed.
+func (r *Rack) relaxCapping() bool {
+	changed := false
+	ordered := make([]Server, len(r.servers))
+	copy(ordered, r.servers)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].CapPriority() > ordered[j].CapPriority()
+	})
+	for _, s := range ordered {
+		if lvl := s.CapLevel(); lvl > 0 {
+			s.ForceCap(lvl - 1)
+			changed = true
+		}
+	}
+	return changed
+}

@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution function over a sample.
+// The zero value is empty; construct with NewCDF.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from the sample xs. The input is copied.
+func NewCDF(xs []float64) *CDF {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}
+}
+
+// Len returns the number of samples backing the CDF.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x), i.e. the fraction of samples at or below x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// Index of first element > x.
+	i := sort.SearchFloat64s(c.sorted, x)
+	for i < len(c.sorted) && c.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the value at cumulative probability q in [0,1].
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return percentileSorted(c.sorted, q*100)
+}
+
+// Points returns n evenly spaced (value, cumulative probability) pairs
+// suitable for plotting the CDF curve. n must be at least 2.
+func (c *CDF) Points(n int) []CDFPoint {
+	if len(c.sorted) == 0 || n < 2 {
+		return nil
+	}
+	pts := make([]CDFPoint, n)
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		pts[i] = CDFPoint{Value: c.Quantile(q), Cum: q}
+	}
+	return pts
+}
+
+// CDFPoint is one point on an empirical CDF curve.
+type CDFPoint struct {
+	Value float64 // sample value
+	Cum   float64 // cumulative probability in [0,1]
+}
+
+// FormatCDF renders CDF points as a fixed set of quantile rows, one per
+// line, for textual figure output: "p10 value", "p50 value", ...
+func FormatCDF(c *CDF, quantiles []float64, unit string) string {
+	var b strings.Builder
+	for _, q := range quantiles {
+		fmt.Fprintf(&b, "p%-5.3g %.3f%s\n", q*100, c.Quantile(q), unit)
+	}
+	return b.String()
+}
+
+// Histogram counts samples into nbins equal-width bins over [min, max].
+// Samples outside the range are clamped into the first/last bin.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	total    int
+}
+
+// NewHistogram creates a histogram with nbins bins spanning [min, max].
+func NewHistogram(min, max float64, nbins int) *Histogram {
+	if nbins < 1 {
+		nbins = 1
+	}
+	if max <= min {
+		max = min + 1
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, nbins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Counts)
+	i := int((x - h.Min) / (h.Max - h.Min) * float64(n))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the fraction of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// Summary holds running aggregate statistics without retaining samples.
+// The zero value is ready to use.
+type Summary struct {
+	n        int
+	sum      float64
+	sumSq    float64
+	min, max float64
+}
+
+// Add records one observation into the summary.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 || x < s.min {
+		s.min = x
+	}
+	if s.n == 0 || x > s.max {
+		s.max = x
+	}
+	s.n++
+	s.sum += x
+	s.sumSq += x * x
+}
+
+// N returns the number of recorded observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the mean of recorded observations, 0 when empty.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Sum returns the total of recorded observations.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Min returns the smallest recorded observation, 0 when empty.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest recorded observation, 0 when empty.
+func (s *Summary) Max() float64 { return s.max }
+
+// Var returns the population variance of recorded observations.
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumSq/float64(s.n) - m*m
+	if v < 0 { // numeric noise
+		v = 0
+	}
+	return v
+}

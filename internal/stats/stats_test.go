@@ -1,0 +1,458 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanSimple(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum([]float64{1.5, 2.5, -1}); got != 3 {
+		t.Fatalf("Sum = %v, want 3", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if got := Min(xs); got != -1 {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Fatalf("Max = %v", got)
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("Min/Max of empty must be 0")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestVarianceSingleton(t *testing.T) {
+	if got := Variance([]float64{5}); got != 0 {
+		t.Fatalf("Variance singleton = %v, want 0", got)
+	}
+}
+
+func TestPercentileExact(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {25, 20}, {50, 30}, {75, 40}, {100, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); !almostEqual(got, 5, 1e-12) {
+		t.Fatalf("Percentile(50) = %v, want 5", got)
+	}
+}
+
+func TestPercentileClampsP(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if got := Percentile(xs, -5); got != 1 {
+		t.Fatalf("clamped low percentile = %v", got)
+	}
+	if got := Percentile(xs, 150); got != 3 {
+		t.Fatalf("clamped high percentile = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentilesMatchesPercentile(t *testing.T) {
+	xs := []float64{5, 1, 9, 3, 7, 2}
+	ps := []float64{0, 10, 50, 90, 99, 100}
+	got := Percentiles(xs, ps...)
+	for i, p := range ps {
+		want := Percentile(xs, p)
+		if !almostEqual(got[i], want, 1e-12) {
+			t.Errorf("Percentiles[%v] = %v, want %v", p, got[i], want)
+		}
+	}
+}
+
+func TestMedianP99(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1) // 1..100
+	}
+	if got := Median(xs); !almostEqual(got, 50.5, 1e-12) {
+		t.Fatalf("Median = %v", got)
+	}
+	if got := P99(xs); !almostEqual(got, 99.01, 1e-9) {
+		t.Fatalf("P99 = %v", got)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	actual := []float64{1, 2, 3}
+	got, err := RMSE(pred, actual)
+	if err != nil || got != 0 {
+		t.Fatalf("RMSE identical = %v, %v", got, err)
+	}
+	got, err = RMSE([]float64{0, 0}, []float64{3, 4})
+	if err != nil || !almostEqual(got, math.Sqrt(12.5), 1e-12) {
+		t.Fatalf("RMSE = %v, %v", got, err)
+	}
+}
+
+func TestRMSEErrors(t *testing.T) {
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if _, err := RMSE(nil, nil); err != ErrEmpty {
+		t.Fatalf("expected ErrEmpty, got %v", err)
+	}
+}
+
+func TestMeanErrorSign(t *testing.T) {
+	// Over-prediction is positive.
+	got, err := MeanError([]float64{10, 10}, []float64{8, 8})
+	if err != nil || got != 2 {
+		t.Fatalf("MeanError = %v, %v", got, err)
+	}
+	got, err = MeanError([]float64{5}, []float64{9})
+	if err != nil || got != -4 {
+		t.Fatalf("MeanError under = %v, %v", got, err)
+	}
+}
+
+func TestMAE(t *testing.T) {
+	got, err := MAE([]float64{1, -1}, []float64{0, 0})
+	if err != nil || got != 1 {
+		t.Fatalf("MAE = %v, %v", got, err)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if got := c.At(0); got != 0 {
+		t.Fatalf("At(0) = %v", got)
+	}
+	if got := c.At(2); got != 0.5 {
+		t.Fatalf("At(2) = %v", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Fatalf("At(10) = %v", got)
+	}
+}
+
+func TestCDFQuantileRoundTrip(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	c := NewCDF(xs)
+	if got := c.Quantile(0); got != 1 {
+		t.Fatalf("Quantile(0) = %v", got)
+	}
+	if got := c.Quantile(1); got != 5 {
+		t.Fatalf("Quantile(1) = %v", got)
+	}
+	if got := c.Quantile(0.5); got != 3 {
+		t.Fatalf("Quantile(0.5) = %v", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.Len() != 0 || c.At(1) != 0 || c.Quantile(0.5) != 0 {
+		t.Fatal("empty CDF must return zeros")
+	}
+	if pts := c.Points(5); pts != nil {
+		t.Fatal("empty CDF Points must be nil")
+	}
+}
+
+func TestCDFPointsMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	pts := NewCDF(xs).Points(20)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value < pts[i-1].Value {
+			t.Fatalf("CDF points not monotonic at %d: %v < %v", i, pts[i].Value, pts[i-1].Value)
+		}
+		if pts[i].Cum <= pts[i-1].Cum {
+			t.Fatalf("cumulative probs not increasing at %d", i)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Fatalf("bin %d count = %d, want 1", i, c)
+		}
+	}
+	if h.Total() != 10 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if got := h.Fraction(0); got != 0.1 {
+		t.Fatalf("Fraction = %v", got)
+	}
+}
+
+func TestHistogramClamps(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(-100)
+	h.Add(100)
+	if h.Counts[0] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("clamping failed: %v", h.Counts)
+	}
+}
+
+func TestHistogramDegenerateArgs(t *testing.T) {
+	h := NewHistogram(5, 5, 0) // max<=min and nbins<1 both repaired
+	h.Add(5)
+	if h.Total() != 1 || len(h.Counts) != 1 {
+		t.Fatalf("degenerate histogram not repaired: %+v", h)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 || s.Mean() != 5 || s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("summary: n=%d mean=%v min=%v max=%v", s.N(), s.Mean(), s.Min(), s.Max())
+	}
+	if got := s.Var(); !almostEqual(got, 4, 1e-9) {
+		t.Fatalf("Var = %v, want 4", got)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.N() != 0 {
+		t.Fatal("empty summary must be zeros")
+	}
+}
+
+// Property: for any sample, percentiles are monotone non-decreasing in p and
+// bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := Percentile(xs, p)
+			if v < prev {
+				return false
+			}
+			if v < Min(xs)-1e-9 || v > Max(xs)+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RMSE >= |MeanError| (Jensen), and RMSE >= MAE never holds in
+// general but RMSE >= MAE does hold... actually RMSE >= MAE always (power
+// mean inequality). Check both.
+func TestErrorMetricInequalities(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		pred := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				pred = append(pred, x)
+			}
+		}
+		if len(pred) == 0 {
+			return true
+		}
+		actual := make([]float64, len(pred)) // zeros
+		rmse, err1 := RMSE(pred, actual)
+		mae, err2 := MAE(pred, actual)
+		me, err3 := MeanError(pred, actual)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return rmse+1e-9 >= mae && rmse+1e-9 >= math.Abs(me)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CDF.At is monotone and bounded in [0,1].
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		c := NewCDF(xs)
+		prev := -1.0
+		for q := -2.0; q <= 2.0; q += 0.25 {
+			v := c.At(q)
+			if v < 0 || v > 1 || v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPercentile(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Percentile(xs, 99)
+	}
+}
+
+func TestP2QuantilePanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewP2Quantile(1.5)
+}
+
+func TestP2QuantileSmallSampleExact(t *testing.T) {
+	q := NewP2Quantile(0.5)
+	if q.Value() != 0 {
+		t.Fatal("empty estimator must be 0")
+	}
+	for _, x := range []float64{3, 1, 2} {
+		q.Add(x)
+	}
+	if q.Value() != 2 {
+		t.Fatalf("small-sample median = %v", q.Value())
+	}
+	if q.Max() != 3 {
+		t.Fatalf("small-sample max = %v", q.Max())
+	}
+}
+
+func TestP2QuantileAccuracyUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		q := NewP2Quantile(p)
+		exact := make([]float64, 0, 50000)
+		for i := 0; i < 50000; i++ {
+			x := rng.Float64() * 100
+			q.Add(x)
+			exact = append(exact, x)
+		}
+		want := Percentile(exact, p*100)
+		if got := q.Value(); math.Abs(got-want) > 2 { // 2% of range
+			t.Fatalf("p=%v: estimate %v vs exact %v", p, got, want)
+		}
+		if q.N() != 50000 {
+			t.Fatalf("N = %d", q.N())
+		}
+	}
+}
+
+func TestP2QuantileAccuracySkewed(t *testing.T) {
+	// Latency-like distribution: lognormal body with a heavy tail.
+	rng := rand.New(rand.NewSource(9))
+	q := NewP2Quantile(0.99)
+	exact := make([]float64, 0, 80000)
+	for i := 0; i < 80000; i++ {
+		x := math.Exp(rng.NormFloat64())
+		q.Add(x)
+		exact = append(exact, x)
+	}
+	want := Percentile(exact, 99)
+	if rel := math.Abs(q.Value()-want) / want; rel > 0.1 {
+		t.Fatalf("P99 estimate %v vs exact %v (rel %v)", q.Value(), want, rel)
+	}
+}
+
+func TestP2QuantileMaxTracksExtremes(t *testing.T) {
+	q := NewP2Quantile(0.9)
+	rng := rand.New(rand.NewSource(2))
+	maxSeen := 0.0
+	for i := 0; i < 1000; i++ {
+		x := rng.Float64()
+		if x > maxSeen {
+			maxSeen = x
+		}
+		q.Add(x)
+	}
+	if q.Max() != maxSeen {
+		t.Fatalf("Max = %v, want %v", q.Max(), maxSeen)
+	}
+}
+
+func TestFormatCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	out := FormatCDF(c, []float64{0.5, 0.99}, "W")
+	if !strings.Contains(out, "p50") || !strings.Contains(out, "W") {
+		t.Fatalf("FormatCDF output:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 2 {
+		t.Fatalf("FormatCDF lines = %d", lines)
+	}
+}

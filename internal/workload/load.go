@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// LoadLevel is the paper's Low/Medium/High load classification for the
+// microservice experiments (Figs 2, 3, 12).
+type LoadLevel int
+
+const (
+	// LowLoad leaves ample headroom; every system meets SLOs.
+	LowLoad LoadLevel = iota
+	// MediumLoad stresses fragile services.
+	MediumLoad
+	// HighLoad drives a single turbo instance into SLO violations for
+	// most services.
+	HighLoad
+)
+
+// String returns the level name.
+func (l LoadLevel) String() string {
+	switch l {
+	case LowLoad:
+		return "Low"
+	case MediumLoad:
+		return "Medium"
+	case HighLoad:
+		return "High"
+	default:
+		return fmt.Sprintf("LoadLevel(%d)", int(l))
+	}
+}
+
+// Levels returns all load levels in ascending order.
+func Levels() []LoadLevel { return []LoadLevel{LowLoad, MediumLoad, HighLoad} }
+
+// Rho returns the offered load (utilization of a single turbo instance)
+// the level corresponds to.
+func (l LoadLevel) Rho() float64 {
+	switch l {
+	case LowLoad:
+		return 0.35
+	case MediumLoad:
+		return 0.65
+	default:
+		// High load sits just above the congestion knee: a single turbo
+		// instance hovers around its SLO (Fig 2/12), an overclocked one
+		// recovers below it, and transient bursts push a turbo instance
+		// deep into violation without saturating the queue.
+		return 0.82
+	}
+}
+
+// RPS returns the request rate that produces the level's offered load on a
+// single instance of m at turbo.
+func (l LoadLevel) RPS(m Microservice, turboMHz int) float64 {
+	return l.Rho() * m.CapacityRPS(turboMHz, turboMHz)
+}
+
+// LoadGen produces a time-varying request rate around a base level with
+// diurnal modulation and transient bursts — the bursty arrival process the
+// cluster experiments drive SocialNet with.
+type LoadGen struct {
+	// BaseRPS is the mean request rate.
+	BaseRPS float64
+	// DiurnalAmp in [0,1] scales the day/night swing.
+	DiurnalAmp float64
+	// BurstProb is the per-step probability that a burst starts.
+	BurstProb float64
+	// BurstFactor multiplies the rate during a burst.
+	BurstFactor float64
+	// BurstLen is how many steps a burst lasts.
+	BurstLen int
+	// NoiseSD is multiplicative Gaussian noise.
+	NoiseSD float64
+	// WaveAmp/WavePeriod superimpose a faster sinusoidal load wave —
+	// the transient peaks of the paper's Fig 1 compressed to emulation
+	// time scales. WavePhase shifts the wave (decorrelating apps).
+	WaveAmp    float64
+	WavePeriod time.Duration
+	WavePhase  time.Duration
+	// SpikeFactor/SpikePeriod/SpikeLen superimpose square load plateaus:
+	// every SpikePeriod the rate multiplies by SpikeFactor for SpikeLen
+	// (Fig 1's Services B/C peak for ~5 minutes at the top and bottom of
+	// each hour). SpikePhase decorrelates apps.
+	SpikeFactor float64
+	SpikePeriod time.Duration
+	SpikeLen    time.Duration
+	SpikePhase  time.Duration
+
+	burstLeft int
+}
+
+// RPSAt returns the arrival rate for the step at ts, advancing burst state.
+func (g *LoadGen) RPSAt(ts time.Time, rng *rand.Rand) float64 {
+	rate := g.BaseRPS
+	if g.DiurnalAmp > 0 {
+		hour := float64(ts.Hour()) + float64(ts.Minute())/60
+		rate *= 1 + g.DiurnalAmp*math.Sin(2*math.Pi*(hour-8)/24)
+	}
+	if g.WaveAmp > 0 && g.WavePeriod > 0 {
+		frac := float64((ts.Add(g.WavePhase).Unix())%int64(g.WavePeriod.Seconds())) / g.WavePeriod.Seconds()
+		rate *= 1 + g.WaveAmp*math.Sin(2*math.Pi*frac)
+	}
+	if g.SpikeFactor > 1 && g.SpikePeriod > 0 && g.SpikeLen > 0 {
+		into := time.Duration((ts.Add(g.SpikePhase).Unix())%int64(g.SpikePeriod.Seconds())) * time.Second
+		if into < g.SpikeLen {
+			rate *= g.SpikeFactor
+		}
+	}
+	if g.burstLeft > 0 {
+		g.burstLeft--
+		rate *= g.BurstFactor
+	} else if g.BurstProb > 0 && rng != nil && rng.Float64() < g.BurstProb {
+		g.burstLeft = g.BurstLen
+		rate *= g.BurstFactor
+	}
+	if g.NoiseSD > 0 && rng != nil {
+		rate *= 1 + rng.NormFloat64()*g.NoiseSD
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	return rate
+}
