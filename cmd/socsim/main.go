@@ -5,9 +5,12 @@
 //
 // Usage:
 //
-//	socsim [-racks N] [-traindays D] [-evaldays D] [-seed S] [-table1] [-fig15]
+//	socsim [-racks N] [-traindays D] [-evaldays D] [-seed S] [-table1] [-fig15] [-chaos]
 //
-// With no experiment flag both experiments run.
+// With no experiment flag the paper experiments run (Table I, Fig 15,
+// ablations). -chaos runs the fault-injection experiment instead: a rack
+// under 25% message loss, a 1-hour gOA outage and sOA crash/restarts, with
+// the runtime invariant checker asserting safety on every tick.
 package main
 
 import (
@@ -31,7 +34,24 @@ func main() {
 	runTable1 := flag.Bool("table1", false, "run only Table I")
 	runFig15 := flag.Bool("fig15", false, "run only Fig 15")
 	runAblations := flag.Bool("ablations", false, "run only the design-choice ablations")
+	runChaos := flag.Bool("chaos", false, "run the fault-injection experiment (gOA outage, lossy control plane, sOA crashes)")
 	flag.Parse()
+
+	if *runChaos {
+		cfg := experiment.DefaultChaosConfig()
+		cfg.Seed = *seed
+		fmt.Fprintf(os.Stderr, "socsim: chaos run — %d servers, %v, %.0f%% drop, %v gOA outage, %d sOA crashes...\n",
+			cfg.Servers, cfg.Duration, 100*cfg.DropProb, cfg.GOAOutage, cfg.SOACrashes)
+		res, err := experiment.RunChaos(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Format())
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		return
+	}
 
 	all := !*runTable1 && !*runFig15 && !*runAblations
 

@@ -1,0 +1,139 @@
+package agent
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	msg, err := NewMessage("oc.request", "soa/s0", "goa", map[string]any{"cores": 4, "mhz": 3800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := EncodeFrame(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(frame, []byte("\n")) {
+		t.Fatal("frame not newline-terminated")
+	}
+	if bytes.IndexByte(frame[:len(frame)-1], '\n') >= 0 {
+		t.Fatal("frame body contains a newline — breaks line framing")
+	}
+	got, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatalf("decode of own encoding failed: %v", err)
+	}
+	if got.Type != msg.Type || got.From != msg.From || got.To != msg.To {
+		t.Fatalf("round trip changed envelope: %+v -> %+v", msg, got)
+	}
+	if !bytes.Equal(got.Payload, msg.Payload) {
+		t.Fatalf("round trip changed payload: %s -> %s", msg.Payload, got.Payload)
+	}
+}
+
+func TestDecodeFrameRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"whitespace":        "  \t ",
+		"bare newline":      "\n",
+		"not json":          "hello world",
+		"truncated":         `{"type":"x","to":"y","payload":{"a"`,
+		"wrong type":        `[1,2,3]`,
+		"missing type":      `{"to":"goa"}`,
+		"missing to":        `{"type":"oc.request"}`,
+		"interior newline":  "{\"type\":\"a\",\n\"to\":\"b\"}",
+		"trailing garbage":  `{"type":"a","to":"b"} extra`,
+		"number payload ok": `{"type":"a","to":"b","payload":"unterminated`,
+	}
+	for name, in := range cases {
+		if _, err := DecodeFrame([]byte(in)); err == nil {
+			t.Errorf("%s: DecodeFrame(%q) accepted", name, in)
+		}
+	}
+}
+
+func TestDecodeFrameOversized(t *testing.T) {
+	big := []byte(`{"type":"a","to":"b","payload":"` + strings.Repeat("x", MaxFrameBytes) + `"}`)
+	if _, err := DecodeFrame(big); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestEncodeFrameRejectsUnroutableAndOversized(t *testing.T) {
+	if _, err := EncodeFrame(Message{Type: "", To: "goa"}); err == nil {
+		t.Error("empty type accepted")
+	}
+	if _, err := EncodeFrame(Message{Type: "x", To: ""}); err == nil {
+		t.Error("empty to accepted")
+	}
+	huge := Message{Type: "x", To: "y", Payload: json.RawMessage(`"` + strings.Repeat("x", MaxFrameBytes) + `"`)}
+	if _, err := EncodeFrame(huge); err == nil {
+		t.Error("oversized frame encoded")
+	}
+}
+
+// FuzzMessageDecode throws arbitrary bytes at the wire decoder: it must
+// never panic, and anything it accepts must be a routable message that
+// survives a re-encode/re-decode round trip.
+func FuzzMessageDecode(f *testing.F) {
+	f.Add([]byte(`{"type":"oc.request","from":"soa/s0","to":"goa","payload":{"cores":4}}`))
+	f.Add([]byte(`{"type":"goa.budget","to":"soa/s1","payload":123.5}`))
+	f.Add([]byte(`{"type":"a","to":"b"}` + "\n"))
+	f.Add([]byte(`{"to":"goa"}`))
+	f.Add([]byte(`{"type":1,"to":2}`))
+	f.Add([]byte("not json at all"))
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte(`{"type":"x","to":"y","payload":`))
+	f.Add([]byte("{\"type\":\"a\",\n\"to\":\"b\"}"))
+	f.Add(bytes.Repeat([]byte("["), 4096))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if msg.Type == "" || msg.To == "" {
+			t.Fatalf("decoder accepted unroutable message %+v from %q", msg, data)
+		}
+		frame, err := EncodeFrame(msg)
+		if err != nil {
+			// Re-encoding escapes <, > and & to 6-byte \u00XX sequences, so a
+			// near-limit input can legitimately grow past the frame cap.
+			if strings.Contains(err.Error(), "exceeds limit") {
+				return
+			}
+			t.Fatalf("re-encode of accepted message failed: %v (%+v)", err, msg)
+		}
+		again, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v (frame %q)", err, frame)
+		}
+		if again.Type != msg.Type || again.From != msg.From || again.To != msg.To {
+			t.Fatalf("round trip changed envelope: %+v -> %+v", msg, again)
+		}
+	})
+}
+
+// FuzzFrameStream feeds the decoder a stream split into lines the way the
+// TCP read loop does: whatever the bytes, every line either decodes to a
+// routable message or errors — no panics, no partial-frame leakage across
+// line boundaries.
+func FuzzFrameStream(f *testing.F) {
+	good, _ := NewMessage("soa.profile", "soa/s0", "goa", map[string]float64{"w": 211.5})
+	gf, _ := EncodeFrame(good)
+	f.Add(append(gf, gf...))
+	f.Add([]byte("{\"type\":\"a\",\"to\":\"b\"}\ngarbage\n{\"type\":\"c\",\"to\":\"d\"}\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{"type":"x","to":"y"`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, line := range bytes.Split(data, []byte("\n")) {
+			msg, err := DecodeFrame(line)
+			if err == nil && (msg.Type == "" || msg.To == "") {
+				t.Fatalf("stream line %q decoded to unroutable %+v", line, msg)
+			}
+		}
+	})
+}

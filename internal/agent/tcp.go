@@ -2,12 +2,63 @@ package agent
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
 )
+
+// MaxFrameBytes bounds a single line-delimited frame on the wire. Frames
+// beyond it are rejected at both ends: EncodeFrame refuses to produce them
+// and the read loop's scanner (and DecodeFrame) refuses to accept them, so
+// one huge message can't wedge a link or balloon a reader's memory.
+const MaxFrameBytes = 4 * 1024 * 1024
+
+// EncodeFrame serializes msg as one newline-terminated JSON frame, the unit
+// the TCP transport writes. It fails on unroutable messages (empty Type or
+// To) and on frames that would exceed MaxFrameBytes.
+func EncodeFrame(msg Message) ([]byte, error) {
+	if msg.Type == "" || msg.To == "" {
+		return nil, fmt.Errorf("agent: unroutable frame (type %q, to %q)", msg.Type, msg.To)
+	}
+	data, err := json.Marshal(msg)
+	if err != nil {
+		return nil, fmt.Errorf("agent: encode message: %w", err)
+	}
+	if len(data)+1 > MaxFrameBytes {
+		return nil, fmt.Errorf("agent: frame %d bytes exceeds limit %d", len(data)+1, MaxFrameBytes)
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeFrame parses one frame (a single line, with or without its trailing
+// newline) into a Message. Malformed JSON, truncated frames, embedded extra
+// lines, oversized frames and unroutable messages are all errors — never
+// panics — so a hostile or corrupted peer can at worst have its frames
+// discarded.
+func DecodeFrame(frame []byte) (Message, error) {
+	frame = bytes.TrimSuffix(frame, []byte("\n"))
+	frame = bytes.TrimSuffix(frame, []byte("\r"))
+	if len(frame) > MaxFrameBytes {
+		return Message{}, fmt.Errorf("agent: frame %d bytes exceeds limit %d", len(frame), MaxFrameBytes)
+	}
+	if len(bytes.TrimSpace(frame)) == 0 {
+		return Message{}, errors.New("agent: empty frame")
+	}
+	if i := bytes.IndexByte(frame, '\n'); i >= 0 {
+		return Message{}, fmt.Errorf("agent: frame contains interior newline at offset %d", i)
+	}
+	var msg Message
+	if err := json.Unmarshal(frame, &msg); err != nil {
+		return Message{}, fmt.Errorf("agent: decode frame: %w", err)
+	}
+	if msg.Type == "" || msg.To == "" {
+		return Message{}, fmt.Errorf("agent: unroutable frame (type %q, to %q)", msg.Type, msg.To)
+	}
+	return msg, nil
+}
 
 // TCPNode is a networked agent endpoint: it listens for line-delimited JSON
 // messages and dials peers on demand. Connections to peers are cached and
@@ -90,11 +141,10 @@ func (n *TCPNode) Send(msg Message) error {
 // sendTo writes msg to addr, dialing or reusing a cached connection and
 // retrying once on a stale connection.
 func (n *TCPNode) sendTo(addr string, msg Message) error {
-	data, err := json.Marshal(msg)
+	data, err := EncodeFrame(msg)
 	if err != nil {
-		return fmt.Errorf("agent: encode message: %w", err)
+		return err
 	}
-	data = append(data, '\n')
 	for attempt := 0; attempt < 2; attempt++ {
 		conn, err := n.conn(addr)
 		if err != nil {
@@ -171,10 +221,10 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 		n.mu.Unlock()
 	}()
 	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	scanner.Buffer(make([]byte, 0, 64*1024), MaxFrameBytes)
 	for scanner.Scan() {
-		var msg Message
-		if err := json.Unmarshal(scanner.Bytes(), &msg); err != nil {
+		msg, err := DecodeFrame(scanner.Bytes())
+		if err != nil {
 			continue // skip malformed frames rather than killing the link
 		}
 		n.mu.Lock()

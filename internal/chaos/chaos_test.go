@@ -1,0 +1,221 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"smartoclock/internal/agent"
+	"smartoclock/internal/sim"
+)
+
+var chaosStart = time.Date(2023, 4, 10, 0, 0, 0, 0, time.UTC)
+
+// runLossy pushes n messages through a lossy transport and returns the
+// delivery trace (payload ids in arrival order) plus the stats.
+func runLossy(seed int64, cfg Config, n int) ([]string, Stats) {
+	eng := sim.NewEngine(chaosStart, seed)
+	bus := agent.NewBus()
+	tr := NewTransport(cfg, eng, bus)
+	var got []string
+	tr.Register("goa", func(m agent.Message) { got = append(got, m.Type) })
+	for i := 0; i < n; i++ {
+		i := i
+		eng.After(time.Duration(i)*time.Second, func() {
+			msg, _ := agent.NewMessage(fmt.Sprintf("m%04d", i), "soa", "goa", nil)
+			_ = tr.Send(msg)
+		})
+	}
+	eng.RunAll()
+	return got, tr.Stats()
+}
+
+func TestDeterministicSameSeed(t *testing.T) {
+	cfg := Config{Seed: 7, DropProb: 0.3, DupProb: 0.1, DelayProb: 0.5, MaxDelay: 30 * time.Second}
+	a, sa := runLossy(7, cfg, 500)
+	b, sb := runLossy(7, cfg, 500)
+	if sa != sb {
+		t.Fatalf("stats differ: %+v vs %+v", sa, sb)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDropRateApproximatesConfig(t *testing.T) {
+	cfg := Config{Seed: 1, DropProb: 0.25}
+	_, s := runLossy(1, cfg, 4000)
+	got := float64(s.Dropped) / float64(s.Sent)
+	if math.Abs(got-0.25) > 0.03 {
+		t.Fatalf("drop rate %.3f, want ~0.25", got)
+	}
+	if s.Delivered != s.Sent-s.Dropped {
+		t.Fatalf("delivered %d + dropped %d != sent %d", s.Delivered, s.Dropped, s.Sent)
+	}
+}
+
+func TestDelayReordersButLosesNothing(t *testing.T) {
+	cfg := Config{Seed: 3, DelayProb: 0.5, MaxDelay: 45 * time.Second}
+	got, s := runLossy(3, cfg, 300)
+	if len(got) != 300 {
+		t.Fatalf("delivered %d of 300", len(got))
+	}
+	if s.Delayed == 0 {
+		t.Fatal("no message was delayed")
+	}
+	reordered := false
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			reordered = true
+			break
+		}
+	}
+	if !reordered {
+		t.Fatal("50% delays up to 45s over 1s-spaced sends produced no reordering")
+	}
+}
+
+func TestDuplicatesArriveTwice(t *testing.T) {
+	cfg := Config{Seed: 5, DupProb: 0.5}
+	got, s := runLossy(5, cfg, 400)
+	if s.Duplicated == 0 {
+		t.Fatal("nothing duplicated")
+	}
+	if len(got) != 400+s.Duplicated {
+		t.Fatalf("deliveries %d, want %d sends + %d dups", len(got), 400, s.Duplicated)
+	}
+}
+
+func TestOutageWindowBlackholes(t *testing.T) {
+	outage := Window{Agent: "goa", From: chaosStart.Add(100 * time.Second), To: chaosStart.Add(200 * time.Second)}
+	cfg := Config{Seed: 2, Outages: []Window{outage}}
+	got, s := runLossy(2, cfg, 300)
+	// Messages sent at t=100..199s are lost; everything else arrives.
+	if len(got) != 200 {
+		t.Fatalf("delivered %d, want 200", len(got))
+	}
+	if s.Outage != 100 {
+		t.Fatalf("outage losses = %d, want 100", s.Outage)
+	}
+	for _, ty := range got {
+		var id int
+		fmt.Sscanf(ty, "m%d", &id)
+		if id >= 100 && id < 200 {
+			t.Fatalf("message %s delivered during outage", ty)
+		}
+	}
+}
+
+func TestCrashRestartDropsBothDirections(t *testing.T) {
+	eng := sim.NewEngine(chaosStart, 1)
+	bus := agent.NewBus()
+	tr := NewTransport(Config{Seed: 1}, eng, bus)
+	var toA, toB []string
+	tr.Register("a", func(m agent.Message) { toA = append(toA, m.Type) })
+	tr.Register("b", func(m agent.Message) { toB = append(toB, m.Type) })
+
+	send := func(ty, from, to string) {
+		msg, _ := agent.NewMessage(ty, from, to, nil)
+		_ = tr.Send(msg)
+	}
+	eng.After(time.Second, func() { send("pre", "a", "b") })
+	eng.After(2*time.Second, func() { tr.Crash("b") })
+	eng.After(3*time.Second, func() { send("lost-out", "b", "a") }) // crashed sender
+	eng.After(4*time.Second, func() { send("lost-in", "a", "b") })  // crashed recipient
+	eng.After(5*time.Second, func() { tr.Restart("b") })
+	eng.After(6*time.Second, func() { send("post", "a", "b") })
+	eng.RunAll()
+
+	if len(toB) != 2 || toB[0] != "pre" || toB[1] != "post" {
+		t.Fatalf("b received %v, want [pre post]", toB)
+	}
+	if len(toA) != 0 {
+		t.Fatalf("a received %v from a crashed sender", toA)
+	}
+	if tr.Stats().Outage != 2 {
+		t.Fatalf("outage count = %d, want 2", tr.Stats().Outage)
+	}
+}
+
+// TestInFlightLostWhenRecipientGoesDown: a message delayed past the start
+// of its recipient's outage is lost, not queued.
+func TestInFlightLostWhenRecipientGoesDown(t *testing.T) {
+	eng := sim.NewEngine(chaosStart, 1)
+	bus := agent.NewBus()
+	tr := NewTransport(Config{Seed: 1, BaseDelay: 10 * time.Second}, eng, bus)
+	var got []string
+	tr.Register("b", func(m agent.Message) { got = append(got, m.Type) })
+	eng.After(time.Second, func() {
+		msg, _ := agent.NewMessage("inflight", "a", "b", nil)
+		_ = tr.Send(msg)
+	})
+	eng.After(5*time.Second, func() { tr.Crash("b") })
+	eng.RunAll()
+	if len(got) != 0 {
+		t.Fatalf("crashed recipient received %v", got)
+	}
+}
+
+func TestGenPlanDeterministicAndOrdered(t *testing.T) {
+	agents := []string{"s0", "s1", "s2"}
+	a := GenPlan(9, agents, chaosStart, time.Hour, 20, 5*time.Minute)
+	b := GenPlan(9, agents, chaosStart, time.Hour, 20, 5*time.Minute)
+	if len(a.Crashes) != 20 || len(b.Crashes) != 20 {
+		t.Fatalf("plan sizes %d/%d", len(a.Crashes), len(b.Crashes))
+	}
+	for i := range a.Crashes {
+		if a.Crashes[i] != b.Crashes[i] {
+			t.Fatalf("fault %d differs", i)
+		}
+		if i > 0 && a.Crashes[i].At.Before(a.Crashes[i-1].At) {
+			t.Fatalf("faults out of order at %d", i)
+		}
+		if a.Crashes[i].RestartAfter <= 0 || a.Crashes[i].RestartAfter > 5*time.Minute {
+			t.Fatalf("restart delay %v out of range", a.Crashes[i].RestartAfter)
+		}
+	}
+}
+
+func TestPlanScheduleInvokesHooks(t *testing.T) {
+	eng := sim.NewEngine(chaosStart, 1)
+	tr := NewTransport(Config{Seed: 1}, eng, agent.NewBus())
+	p := Plan{Crashes: []CrashFault{{Agent: "s0", At: chaosStart.Add(time.Minute), RestartAfter: 30 * time.Second}}}
+	var events []string
+	p.Schedule(eng, tr,
+		func(a string) { events = append(events, "crash:"+a+"@"+eng.Now().String()) },
+		func(a string) { events = append(events, "restart:"+a+"@"+eng.Now().String()) })
+	eng.After(70*time.Second, func() {
+		if !tr.Down("s0") {
+			t.Error("s0 not down during fault")
+		}
+	})
+	eng.RunAll()
+	if len(events) != 2 {
+		t.Fatalf("events = %v", events)
+	}
+	if tr.Down("s0") {
+		t.Fatal("s0 still down after restart")
+	}
+}
+
+func TestValidateRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{DropProb: -0.1},
+		{DupProb: 1.5},
+		{DelayProb: 0.5}, // missing MaxDelay
+		{Outages: []Window{{Agent: "x", From: chaosStart.Add(time.Hour), To: chaosStart}}},
+	} {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("config %+v validated", cfg)
+		}
+	}
+	if err := (Config{DropProb: 0.2, DelayProb: 0.3, MaxDelay: time.Second}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}

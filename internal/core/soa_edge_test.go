@@ -1,0 +1,212 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"smartoclock/internal/lifetime"
+	"smartoclock/internal/power"
+)
+
+// TestRequestEdgeCases drives SOA.Request through the admission corner
+// cases table-style: each case builds its own sOA in the relevant state and
+// asserts the decision (and that rejection never mutates session state).
+func TestRequestEdgeCases(t *testing.T) {
+	cases := []struct {
+		name        string
+		setup       func(t *testing.T) (*SOA, Request, time.Time)
+		wantGranted bool
+		wantReason  RejectReason
+	}{
+		{
+			// A fresh sOA with a zero assigned budget must reject on power:
+			// the baseline alone exceeds an empty budget.
+			name: "zero assigned budget",
+			setup: func(t *testing.T) (*SOA, Request, time.Time) {
+				a, h := newTestSOA(0)
+				h.setAllUtil(0.5)
+				return a, ocReq("vm1", 2), soaStart
+			},
+			wantReason: RejectPower,
+		},
+		{
+			// Budget zero but the request itself adds nothing (target at
+			// turbo): still rejected — the baseline doesn't fit either.
+			name: "zero budget zero-delta request",
+			setup: func(t *testing.T) (*SOA, Request, time.Time) {
+				a, h := newTestSOA(0)
+				h.setAllUtil(0.5)
+				return a, Request{VM: "vm1", Cores: 1, TargetMHz: h.TurboMHz(), Priority: PriorityMetric}, soaStart
+			},
+			wantReason: RejectPower,
+		},
+		{
+			// Every core's per-epoch overclock time has been burned by an
+			// earlier session: the next request must reject on lifetime,
+			// not power (the power budget is generous).
+			name: "exhausted per-core lifetime budget",
+			setup: func(t *testing.T) (*SOA, Request, time.Time) {
+				h := newFakeHost("s1")
+				cfg := DefaultSOAConfig()
+				cfg.DefaultOCHorizon = time.Minute
+				bcfg := lifetime.BudgetConfig{Epoch: 100 * time.Hour, Fraction: 2.0 / 60 / 100} // 2 min/core
+				budgets := lifetime.NewCoreBudgets(bcfg, h.NumCores(), soaStart)
+				a := NewSOA(cfg, h, budgets, 10000, soaStart)
+				h.setAllUtil(0.5)
+				if d := a.Request(soaStart, ocReq("burn", 8)); !d.Granted {
+					t.Fatalf("setup burn session rejected: %+v", d)
+				}
+				now := soaStart
+				for i := 0; i < 10 && len(a.Sessions()) > 0; i++ {
+					now = now.Add(time.Minute)
+					a.Tick(now)
+				}
+				if len(a.Sessions()) != 0 {
+					t.Fatal("setup: burn session never exhausted")
+				}
+				return a, ocReq("vm1", 1), now
+			},
+			wantReason: RejectLifetime,
+		},
+		{
+			// A rack warning just shed the exploration surplus and started
+			// the back-off: a request arriving during the alert sees only
+			// the (zero) assigned budget and must be rejected.
+			name: "request during rack alert",
+			setup: func(t *testing.T) (*SOA, Request, time.Time) {
+				a, h := newTestSOA(0)
+				h.setAllUtil(0.5)
+				a.cfg.AdmitOverride = func(Request, float64) bool { return true }
+				if d := a.Request(soaStart, ocReq("vm1", 4)); !d.Granted {
+					t.Fatal("setup grant failed")
+				}
+				now := soaStart.Add(time.Second)
+				a.Tick(now) // constrained → exploring, extra > 0
+				if a.ExtraWatts() == 0 {
+					t.Fatal("setup: exploration surplus missing")
+				}
+				a.OnRackEvent(now, power.Event{Kind: power.EventWarning})
+				if a.ExtraWatts() != 0 {
+					t.Fatal("setup: warning did not shed the surplus")
+				}
+				a.cfg.AdmitOverride = nil // back to local admission
+				return a, ocReq("vm2", 2), now.Add(time.Second)
+			},
+			wantReason: RejectPower,
+		},
+		{
+			// After a cap event the surplus resets too — same rejection.
+			name: "request after rack cap",
+			setup: func(t *testing.T) (*SOA, Request, time.Time) {
+				a, h := newTestSOA(0)
+				h.setAllUtil(0.5)
+				a.cfg.AdmitOverride = func(Request, float64) bool { return true }
+				a.Request(soaStart, ocReq("vm1", 4))
+				now := soaStart.Add(time.Second)
+				a.Tick(now)
+				a.OnRackEvent(now, power.Event{Kind: power.EventCap})
+				a.cfg.AdmitOverride = nil
+				return a, ocReq("vm2", 2), now.Add(time.Second)
+			},
+			wantReason: RejectPower,
+		},
+		{
+			// More cores than the machine has: no core set can satisfy the
+			// lifetime check.
+			name: "request exceeds machine cores",
+			setup: func(t *testing.T) (*SOA, Request, time.Time) {
+				a, h := newTestSOA(10000)
+				h.setAllUtil(0.3)
+				return a, ocReq("vm1", h.NumCores()+1), soaStart
+			},
+			wantReason: RejectLifetime,
+		},
+		{
+			// Preferred cores out of range must not panic — the sOA falls
+			// back to scheduling onto valid cores.
+			name: "preferred cores out of range fall back",
+			setup: func(t *testing.T) (*SOA, Request, time.Time) {
+				a, h := newTestSOA(10000)
+				h.setAllUtil(0.3)
+				req := ocReq("vm1", 2)
+				req.PreferredCores = []int{-1, 999}
+				return a, req, soaStart
+			},
+			wantGranted: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, req, now := tc.setup(t)
+			sessionsBefore := len(a.Sessions())
+			d := a.Request(now, req)
+			if d.Granted != tc.wantGranted {
+				t.Fatalf("granted = %v, want %v (decision %+v)", d.Granted, tc.wantGranted, d)
+			}
+			if !tc.wantGranted {
+				if d.Reason != tc.wantReason {
+					t.Fatalf("reason = %v, want %v", d.Reason, tc.wantReason)
+				}
+				if len(a.Sessions()) != sessionsBefore {
+					t.Fatal("rejected request changed session state")
+				}
+				if len(d.Cores) != 0 {
+					t.Fatalf("rejected decision carries cores %v", d.Cores)
+				}
+			}
+		})
+	}
+}
+
+// TestStopUnknownVMIsNoOp: stopping a VM that has no session must not
+// panic, must not touch other sessions and must not move counters.
+func TestStopUnknownVMIsNoOp(t *testing.T) {
+	a, h := newTestSOA(1000)
+	h.setAllUtil(0.4)
+	d := a.Request(soaStart, ocReq("vm1", 2))
+	if !d.Granted {
+		t.Fatal("setup grant failed")
+	}
+	granted, rejected := a.Granted(), a.Rejected()
+	a.Stop(soaStart.Add(time.Second), "no-such-vm")
+	if len(a.Sessions()) != 1 {
+		t.Fatal("unknown-VM stop removed a session")
+	}
+	if h.DesiredFreq(d.Cores[0]) != 4000 {
+		t.Fatal("unknown-VM stop touched core frequencies")
+	}
+	if a.Granted() != granted || a.Rejected() != rejected {
+		t.Fatal("unknown-VM stop moved counters")
+	}
+	// And on an empty sOA too.
+	b, _ := newTestSOA(1000)
+	b.Stop(soaStart, "ghost")
+}
+
+// TestTickEdgeCases: ticking with no sessions, and ticking twice at the
+// same instant (zero elapsed time), must be harmless — no panics, no
+// budget charged, no frequency changes.
+func TestTickEdgeCases(t *testing.T) {
+	a, h := newTestSOA(1000)
+	h.setAllUtil(0.4)
+	a.Tick(soaStart.Add(time.Second)) // no sessions: nothing to do
+	if len(a.Sessions()) != 0 {
+		t.Fatal("tick invented a session")
+	}
+
+	d := a.Request(soaStart.Add(time.Second), ocReq("vm1", 2))
+	if !d.Granted {
+		t.Fatal("setup grant failed")
+	}
+	now := soaStart.Add(2 * time.Second)
+	a.Tick(now)
+	remaining := a.budgets.Core(d.Cores[0]).Remaining()
+	freq := h.DesiredFreq(d.Cores[0])
+	a.Tick(now) // zero dt: must not double-charge
+	if got := a.budgets.Core(d.Cores[0]).Remaining(); got != remaining {
+		t.Fatalf("zero-dt tick charged budget: %v -> %v", remaining, got)
+	}
+	if h.DesiredFreq(d.Cores[0]) != freq {
+		t.Fatal("zero-dt tick changed frequency")
+	}
+}

@@ -1,0 +1,510 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"smartoclock/internal/agent"
+	"smartoclock/internal/chaos"
+	"smartoclock/internal/cluster"
+	"smartoclock/internal/core"
+	"smartoclock/internal/invariant"
+	"smartoclock/internal/lifetime"
+	"smartoclock/internal/machine"
+	"smartoclock/internal/power"
+	"smartoclock/internal/predict"
+	"smartoclock/internal/sim"
+	"smartoclock/internal/stats"
+	"smartoclock/internal/timeseries"
+)
+
+// ChaosConfig parameterizes the fault-injection experiment: a rack of
+// sOA-managed servers whose control plane (profile reports, budget pushes,
+// rack warning/cap notifications) runs over a lossy, delaying, duplicating
+// transport, with a gOA outage window and sOA crash/restart faults on top.
+// It reproduces the paper's gOA-unavailability ablation (§VI): when budgets
+// go stale the sOAs must fall back to exploration/exploitation, and
+// decentralized enforcement must keep every safety invariant intact.
+type ChaosConfig struct {
+	Seed     int64
+	Start    time.Time
+	Duration time.Duration
+	// Tick is the control cadence: workload updates, sOA ticks, rack
+	// manager ticks and invariant checks all run at this period.
+	Tick    time.Duration
+	Servers int
+	HW      machine.Config
+
+	// Message-level faults (see chaos.Config).
+	DropProb  float64
+	DupProb   float64
+	DelayProb float64
+	MaxDelay  time.Duration
+	BaseDelay time.Duration
+
+	// GOAOutageStart/GOAOutage define the gOA unavailability window as an
+	// offset into the run: budget pushes stop and assignments go stale.
+	GOAOutageStart time.Duration
+	GOAOutage      time.Duration
+	// SOACrashes is how many sOA crash/restart faults to inject; each
+	// loses the agent's in-memory state (sessions, exploration surplus,
+	// assigned budget) for up to MaxCrashDown. Per-core lifetime budgets
+	// are durable, as production wear accounting would be.
+	SOACrashes   int
+	MaxCrashDown time.Duration
+
+	// Control-plane cadences.
+	ProfileEvery time.Duration // sOA → gOA profile reports
+	BudgetEvery  time.Duration // gOA → sOA budget pushes
+
+	// BudgetEpoch/OCBudgetFraction set the per-core overclock time budget.
+	BudgetEpoch      time.Duration
+	OCBudgetFraction float64
+	// RackLimitScale scales the rack limit relative to the estimated
+	// baseline-plus-half-overclock draw (<1 makes warnings and caps part
+	// of normal operation, which is the regime worth testing).
+	RackLimitScale float64
+	// EnforcementGrace is how long rack power may exceed the limit before
+	// the invariant fires — the enforcement-latency window within which
+	// warnings and prioritized capping must restore safety.
+	EnforcementGrace time.Duration
+}
+
+// DefaultChaosConfig returns the profile used by `socsim -chaos` and the
+// chaos regression test: 25% message loss, delays up to 30 s, duplicates,
+// a 1-hour gOA outage in the middle of a 3-hour run, and 6 sOA crashes.
+func DefaultChaosConfig() ChaosConfig {
+	return ChaosConfig{
+		Seed:             1,
+		Start:            time.Date(2023, 4, 10, 9, 0, 0, 0, time.UTC),
+		Duration:         3 * time.Hour,
+		Tick:             5 * time.Second,
+		Servers:          8,
+		HW:               machine.DefaultConfig(),
+		DropProb:         0.25,
+		DupProb:          0.05,
+		DelayProb:        0.20,
+		MaxDelay:         30 * time.Second,
+		BaseDelay:        50 * time.Millisecond,
+		GOAOutageStart:   time.Hour,
+		GOAOutage:        time.Hour,
+		SOACrashes:       6,
+		MaxCrashDown:     10 * time.Minute,
+		ProfileEvery:     2 * time.Minute,
+		BudgetEvery:      time.Minute,
+		BudgetEpoch:      time.Hour,
+		OCBudgetFraction: 0.25,
+		RackLimitScale:   0.90,
+		EnforcementGrace: 15 * time.Second,
+	}
+}
+
+// Validate reports whether the configuration is runnable.
+func (c ChaosConfig) Validate() error {
+	switch {
+	case c.Tick <= 0 || c.Duration < c.Tick:
+		return fmt.Errorf("experiment: bad chaos tick/duration %v/%v", c.Tick, c.Duration)
+	case c.Servers <= 0:
+		return fmt.Errorf("experiment: chaos needs servers, got %d", c.Servers)
+	case c.ProfileEvery <= 0 || c.BudgetEvery <= 0:
+		return fmt.Errorf("experiment: non-positive control cadence")
+	case c.BudgetEpoch <= 0 || c.OCBudgetFraction <= 0:
+		return fmt.Errorf("experiment: bad OC budget %v/%v", c.BudgetEpoch, c.OCBudgetFraction)
+	case c.EnforcementGrace < c.Tick:
+		return fmt.Errorf("experiment: EnforcementGrace %v below one tick %v", c.EnforcementGrace, c.Tick)
+	}
+	return nil
+}
+
+// Control-plane payloads. They cross the faulty transport as JSON — the
+// same encode/decode path the TCP transport uses — so chaos runs exercise
+// real (de)serialization, not Go pointers.
+
+type profileMsg struct {
+	Server      string  `json:"server"`
+	MedianWatts float64 `json:"median_watts"`
+	Requested   float64 `json:"requested_cores"`
+	Granted     float64 `json:"granted_cores"`
+	CoreCost    float64 `json:"core_cost"`
+}
+
+type budgetMsg struct {
+	Watts float64 `json:"watts"`
+}
+
+type rackEventMsg struct {
+	Kind  int     `json:"kind"`
+	Power float64 `json:"power"`
+	Limit float64 `json:"limit"`
+}
+
+// ChaosResult aggregates one chaos run.
+type ChaosResult struct {
+	Ticks     int
+	Transport chaos.Stats
+	// CapEvents/Warnings from the rack manager — nonzero means
+	// enforcement actually had work to do during the run.
+	CapEvents int
+	Warnings  int
+	// Overclocking activity, to prove the run wasn't vacuously safe.
+	Requests int
+	Granted  int
+	// Crashes injected and restarts completed within the run.
+	Crashes  int
+	Restarts int
+	// StaleBudgetTicks counts (server, tick) pairs where the sOA ran on a
+	// gOA assignment older than 2× the push cadence (or none at all) —
+	// the stale-budget epochs the exploration fallback has to cover.
+	StaleBudgetTicks int
+	// InvariantChecks is how many checker passes ran; Violations is what
+	// they found (empty on a healthy run).
+	InvariantChecks int64
+	Violations      []invariant.Violation
+	// Err is non-nil when invariants were violated, naming every recorded
+	// violation with its tick, rack and invariant.
+	Err error
+}
+
+// chaosServer bundles one server's durable and volatile control state.
+type chaosServer struct {
+	srv     *cluster.Server
+	agentID string
+	// budgets is durable (it survives sOA crashes, like NVRAM-backed wear
+	// accounting would); soa is volatile and nil while crashed.
+	budgets *lifetime.CoreBudgets
+	soa     *core.SOA
+	// lastBudgetAt is when the last gOA budget push was applied.
+	lastBudgetAt time.Time
+	hasBudget    bool
+	requests     int
+	granted      int
+}
+
+// RunChaos executes the fault-injection experiment.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine(cfg.Start, cfg.Seed)
+	end := cfg.Start.Add(cfg.Duration)
+	maxOC := cfg.HW.MaxOCMHz
+
+	// --- Transport with fault injection -----------------------------------
+	var outages []chaos.Window
+	if cfg.GOAOutage > 0 {
+		outages = append(outages, chaos.Window{
+			Agent: "goa",
+			From:  cfg.Start.Add(cfg.GOAOutageStart),
+			To:    cfg.Start.Add(cfg.GOAOutageStart + cfg.GOAOutage),
+		})
+	}
+	tr := chaos.NewTransport(chaos.Config{
+		Seed:      cfg.Seed + 1,
+		DropProb:  cfg.DropProb,
+		DupProb:   cfg.DupProb,
+		DelayProb: cfg.DelayProb,
+		MaxDelay:  cfg.MaxDelay,
+		BaseDelay: cfg.BaseDelay,
+		Outages:   outages,
+	}, eng, agent.NewBus())
+
+	// --- Servers and workload ---------------------------------------------
+	// Each server hosts one latency-critical VM spanning half its cores;
+	// overclock demand arrives in phase-shifted square waves (~45% duty),
+	// deliberately exceeding the per-epoch overclock time budget so the
+	// lifetime-exhaustion path runs too.
+	servers := make([]*chaosServer, cfg.Servers)
+	bcfg := lifetime.BudgetConfig{Epoch: cfg.BudgetEpoch, Fraction: cfg.OCBudgetFraction, CarryOver: true, MaxCarryOver: 1}
+	for i := range servers {
+		s := cluster.NewServer(fmt.Sprintf("ch-%02d", i), cfg.HW, 0)
+		servers[i] = &chaosServer{
+			srv:     s,
+			agentID: "soa/" + s.Name(),
+			budgets: lifetime.NewCoreBudgets(bcfg, s.NumCores(), cfg.Start),
+		}
+	}
+	vmCores := make([]int, cfg.HW.Cores/2)
+	for i := range vmCores {
+		vmCores[i] = i
+	}
+	demandPeriod := 20 * time.Minute
+	demandAt := func(i int, now time.Time) bool {
+		phase := time.Duration(i) * demandPeriod / time.Duration(cfg.Servers)
+		into := (now.Sub(cfg.Start) + phase) % demandPeriod
+		return into < 9*time.Minute
+	}
+	utilRng := rand.New(rand.NewSource(cfg.Seed + 2))
+	setUtil := func(i int, now time.Time) {
+		cs := servers[i]
+		base := 0.35 + 0.05*utilRng.Float64()
+		hot := base
+		if demandAt(i, now) {
+			hot = 0.80 + 0.10*utilRng.Float64()
+		}
+		for c := 0; c < cs.srv.NumCores(); c++ {
+			if c < len(vmCores) {
+				cs.srv.SetCoreUtil(c, hot)
+			} else {
+				cs.srv.SetCoreUtil(c, base)
+			}
+		}
+	}
+	for i := range servers {
+		setUtil(i, cfg.Start)
+	}
+
+	// --- Rack: headroom for some, not all, servers to overclock at once ---
+	est := 0.0
+	members := make([]power.Server, 0, cfg.Servers)
+	for _, cs := range servers {
+		est += cs.srv.Power()
+		members = append(members, cs.srv)
+	}
+	fullOC := float64(cfg.Servers) * servers[0].srv.OCDeltaWatts(len(vmCores), maxOC, 0.9)
+	limit := cfg.RackLimitScale * (est + 0.5*fullOC)
+	rack := power.NewRack(power.DefaultRackConfig("rack-chaos", limit), members...)
+
+	// --- gOA ---------------------------------------------------------------
+	goa := core.NewGOA("rack-chaos", limit)
+	evenShare := limit / float64(cfg.Servers)
+
+	// --- sOAs: volatile agents over durable budgets ------------------------
+	soaCfg := core.DefaultSOAConfig()
+	soaCfg.ProfileStep = time.Minute
+	soaCfg.ExploreConfirm = 30 * time.Second
+	soaCfg.ExploitTime = 5 * time.Minute
+	soaCfg.InitialBackoff = time.Minute
+	soaCfg.MaxBackoff = 15 * time.Minute
+	soaCfg.DefaultOCHorizon = 5 * time.Minute
+	soaCfg.ExhaustionWindow = 5 * time.Minute
+	soaCfg.AdmissionUtil = 0.7
+
+	res := &ChaosResult{}
+	bootSOA := func(cs *chaosServer, now time.Time) {
+		cs.soa = core.NewSOA(soaCfg, cs.srv, cs.budgets, evenShare, now)
+		cs.hasBudget = false
+		tr.Register(cs.agentID, func(m agent.Message) {
+			if cs.soa == nil {
+				return // crashed in the same tick the message landed
+			}
+			switch m.Type {
+			case "goa.budget":
+				b, err := agent.Decode[budgetMsg](m)
+				if err != nil || b.Watts <= 0 {
+					return
+				}
+				cs.soa.SetStaticBudget(b.Watts, true)
+				cs.lastBudgetAt = eng.Now()
+				cs.hasBudget = true
+			case "rack.event":
+				ev, err := agent.Decode[rackEventMsg](m)
+				if err != nil {
+					return
+				}
+				cs.soa.OnRackEvent(eng.Now(), power.Event{
+					Kind: power.EventKind(ev.Kind), Time: eng.Now(),
+					Rack: "rack-chaos", Power: ev.Power, Limit: ev.Limit,
+				})
+			}
+		})
+	}
+	for _, cs := range servers {
+		bootSOA(cs, cfg.Start)
+	}
+
+	// --- Rack events travel the faulty transport ---------------------------
+	// Capping itself is enforced in hardware (the rack manager throttles
+	// directly); only the notifications to the sOAs are messages. A lost
+	// warning means the sOA keeps exploring and gets capped again — safe
+	// but slower, exactly the decentralized-enforcement story.
+	rack.Subscribe(func(ev power.Event) {
+		payload := rackEventMsg{Kind: int(ev.Kind), Power: ev.Power, Limit: ev.Limit}
+		for _, cs := range servers {
+			if msg, err := agent.NewMessage("rack.event", "rack", cs.agentID, payload); err == nil {
+				_ = tr.Send(msg)
+			}
+		}
+	})
+
+	// --- gOA inbox ---------------------------------------------------------
+	tr.Register("goa", func(m agent.Message) {
+		if m.Type != "soa.profile" {
+			return
+		}
+		p, err := agent.Decode[profileMsg](m)
+		if err != nil {
+			return
+		}
+		goa.SetProfile(p.Server, core.ServerProfile{
+			Power: timeseries.FlatWeek(p.MedianWatts, time.Hour),
+			OC: &predict.OCTemplate{
+				Requested: timeseries.FlatWeek(p.Requested, time.Hour),
+				Granted:   timeseries.FlatWeek(p.Granted, time.Hour),
+			},
+			OCCoreCost: p.CoreCost,
+		})
+	})
+
+	// --- Crash/restart plan ------------------------------------------------
+	agentNames := make([]string, len(servers))
+	byAgent := make(map[string]*chaosServer, len(servers))
+	for i, cs := range servers {
+		agentNames[i] = cs.agentID
+		byAgent[cs.agentID] = cs
+	}
+	plan := chaos.GenPlan(cfg.Seed+3, agentNames, cfg.Start.Add(5*time.Minute),
+		cfg.Duration-15*time.Minute, cfg.SOACrashes, cfg.MaxCrashDown)
+	plan.Schedule(eng, tr,
+		func(name string) {
+			cs := byAgent[name]
+			if cs.soa == nil {
+				return // already down (overlapping faults)
+			}
+			// The host watchdog fail-safes overclocking when its agent
+			// dies: cores return to turbo, so an unsupervised server can
+			// never burn budget or power it wouldn't be granted.
+			for c := 0; c < cs.srv.NumCores(); c++ {
+				cs.srv.SetDesiredFreq(c, cs.srv.TurboMHz())
+			}
+			cs.soa = nil
+			res.Crashes++
+		},
+		func(name string) {
+			cs := byAgent[name]
+			if cs.soa != nil {
+				return
+			}
+			bootSOA(cs, eng.Now())
+			res.Restarts++
+		})
+
+	// --- Invariants --------------------------------------------------------
+	checker := invariant.NewChecker()
+	invariant.RackPowerWithinLimit(checker, rack, cfg.EnforcementGrace)
+	invariant.BudgetConservation(checker, goa, 1e-3)
+	for _, cs := range servers {
+		cs := cs
+		invariant.CoreBudgetsNeverOverdrawn(checker, "rack-chaos", cs.srv, bcfg, cfg.Start, 12*cfg.Tick)
+		invariant.SessionsWithinGrant(checker, "rack-chaos", cs.srv, func() *core.SOA { return cs.soa })
+	}
+
+	// --- Periodic control planes -------------------------------------------
+	// sOA → gOA profile reports (staggered one tick apart per server).
+	for i, cs := range servers {
+		cs := cs
+		eng.Every(cfg.Start.Add(cfg.ProfileEvery+time.Duration(i)*cfg.Tick), cfg.ProfileEvery, func(now time.Time) {
+			if cs.soa == nil {
+				return
+			}
+			window := lastSamples(cs.soa.PowerRecord().Values, 10)
+			med := stats.Median(window)
+			if len(window) == 0 {
+				med = cs.srv.Power()
+			}
+			granted := float64(cs.soa.ActiveOCCores())
+			requested := cs.soa.RecentRequestedCores(5)
+			if granted > requested {
+				requested = granted
+			}
+			payload := profileMsg{
+				Server: cs.srv.Name(), MedianWatts: med,
+				Requested: requested, Granted: granted,
+				CoreCost: cs.srv.Machine().Config().OCCoreCost(),
+			}
+			if msg, err := agent.NewMessage("soa.profile", cs.agentID, "goa", payload); err == nil {
+				_ = tr.Send(msg)
+			}
+		})
+	}
+	// gOA → sOA budget pushes. While the gOA is down it computes nothing.
+	eng.Every(cfg.Start.Add(cfg.BudgetEvery), cfg.BudgetEvery, func(now time.Time) {
+		if tr.Down("goa") {
+			return
+		}
+		budgets := goa.BudgetsAt(now)
+		for _, cs := range servers {
+			b, ok := budgets[cs.srv.Name()]
+			if !ok || b <= 0 {
+				continue
+			}
+			if msg, err := agent.NewMessage("goa.budget", "goa", cs.agentID, budgetMsg{Watts: b}); err == nil {
+				_ = tr.Send(msg)
+			}
+		}
+	})
+
+	// --- Main control tick -------------------------------------------------
+	staleAfter := 2 * cfg.BudgetEvery
+	eng.Every(cfg.Start.Add(cfg.Tick), cfg.Tick, func(now time.Time) {
+		res.Ticks++
+		for i, cs := range servers {
+			setUtil(i, now)
+			if cs.soa == nil {
+				continue // crashed: nobody to ask, VM runs at turbo
+			}
+			want := demandAt(i, now)
+			_, active := cs.soa.Sessions()["vm"]
+			if want && !active {
+				cs.requests++
+				d := cs.soa.Request(now, core.Request{
+					VM: "vm", Cores: len(vmCores), TargetMHz: maxOC,
+					Priority: core.PriorityMetric, PreferredCores: vmCores,
+				})
+				if d.Granted {
+					cs.granted++
+				}
+			} else if !want && active {
+				cs.soa.Stop(now, "vm")
+			}
+			cs.soa.Tick(now)
+			if !cs.hasBudget {
+				if now.Sub(cfg.Start) > staleAfter {
+					res.StaleBudgetTicks++
+				}
+			} else if now.Sub(cs.lastBudgetAt) > staleAfter {
+				res.StaleBudgetTicks++
+			}
+		}
+		for _, cs := range servers {
+			cs.srv.Advance(cfg.Tick)
+		}
+		rack.Tick(now)
+		checker.Check(now)
+	})
+
+	eng.Run(end)
+
+	// --- Aggregate ---------------------------------------------------------
+	res.Transport = tr.Stats()
+	res.CapEvents = rack.CapEvents()
+	res.Warnings = rack.Warnings()
+	for _, cs := range servers {
+		res.Requests += cs.requests
+		res.Granted += cs.granted
+	}
+	res.InvariantChecks = checker.Checks()
+	res.Violations = checker.Violations()
+	res.Err = checker.Err()
+	return res, nil
+}
+
+// Format renders the chaos run as a report table.
+func (r *ChaosResult) Format() string {
+	tbl := &Table{
+		Caption: "Chaos: fault-injected SmartOClock run (gOA outage + lossy control plane)",
+		Headers: []string{"Metric", "Value"},
+	}
+	tbl.AddRow("ticks", r.Ticks)
+	tbl.AddRow("messages sent", r.Transport.Sent)
+	tbl.AddRow("messages lost", fmt.Sprintf("%d (%.1f%%)", r.Transport.Dropped+r.Transport.Outage, 100*r.Transport.LossFraction()))
+	tbl.AddRow("messages duplicated", r.Transport.Duplicated)
+	tbl.AddRow("messages delayed", r.Transport.Delayed)
+	tbl.AddRow("sOA crashes / restarts", fmt.Sprintf("%d / %d", r.Crashes, r.Restarts))
+	tbl.AddRow("stale-budget server-ticks", r.StaleBudgetTicks)
+	tbl.AddRow("oc requests (granted)", fmt.Sprintf("%d (%d)", r.Requests, r.Granted))
+	tbl.AddRow("rack warnings / cap events", fmt.Sprintf("%d / %d", r.Warnings, r.CapEvents))
+	tbl.AddRow("invariant checks", r.InvariantChecks)
+	tbl.AddRow("invariant violations", len(r.Violations))
+	return tbl.Format()
+}

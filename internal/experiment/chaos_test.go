@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChaosRunHoldsInvariants is the gOA-unavailability ablation as a
+// regression test: a 3-hour run with 25% message loss, delays, duplicates,
+// a 1-hour gOA outage and 6 sOA crash/restarts must finish with zero
+// invariant violations — and must not be vacuously safe (overclocking was
+// granted, messages were actually lost, faults actually fired).
+func TestChaosRunHoldsInvariants(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	res, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatalf("RunChaos: %v", err)
+	}
+	if res.Err != nil {
+		t.Fatalf("invariants violated:\n%v", res.Err)
+	}
+
+	// Non-vacuity: the safety result only means something if the run was
+	// genuinely hostile and genuinely overclocking.
+	if lf := res.Transport.LossFraction(); lf < 0.20 {
+		t.Errorf("loss fraction %.3f < 0.20 — fault injection too gentle", lf)
+	}
+	if res.Granted == 0 {
+		t.Error("no overclock session was ever granted — nothing was at risk")
+	}
+	if res.Crashes == 0 || res.Restarts == 0 {
+		t.Errorf("crashes=%d restarts=%d — process faults did not fire", res.Crashes, res.Restarts)
+	}
+	if res.StaleBudgetTicks == 0 {
+		t.Error("no stale-budget ticks — the gOA outage never forced a fallback")
+	}
+	if res.InvariantChecks == 0 {
+		t.Fatal("invariant checker never ran")
+	}
+	wantTicks := int(cfg.Duration / cfg.Tick)
+	if res.Ticks < wantTicks-1 {
+		t.Errorf("ticks = %d, want ~%d", res.Ticks, wantTicks)
+	}
+}
+
+// TestChaosDeterministic: same config, same seed — identical run, down to
+// every fault counter and every decision.
+func TestChaosDeterministic(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	cfg.Duration = 45 * time.Minute
+	cfg.GOAOutageStart = 15 * time.Minute
+	cfg.GOAOutage = 10 * time.Minute
+	cfg.SOACrashes = 2
+	a, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Transport != b.Transport {
+		t.Errorf("transport stats differ: %+v vs %+v", a.Transport, b.Transport)
+	}
+	if a.Requests != b.Requests || a.Granted != b.Granted {
+		t.Errorf("oc activity differs: %d/%d vs %d/%d", a.Requests, a.Granted, b.Requests, b.Granted)
+	}
+	if a.StaleBudgetTicks != b.StaleBudgetTicks || a.CapEvents != b.CapEvents || a.Warnings != b.Warnings {
+		t.Errorf("run metrics differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestChaosConfigValidate(t *testing.T) {
+	ok := DefaultChaosConfig()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	for name, mutate := range map[string]func(*ChaosConfig){
+		"zero tick":       func(c *ChaosConfig) { c.Tick = 0 },
+		"no servers":      func(c *ChaosConfig) { c.Servers = 0 },
+		"no cadence":      func(c *ChaosConfig) { c.BudgetEvery = 0 },
+		"no budget":       func(c *ChaosConfig) { c.OCBudgetFraction = 0 },
+		"grace sub-tick":  func(c *ChaosConfig) { c.EnforcementGrace = c.Tick / 2 },
+		"short duration":  func(c *ChaosConfig) { c.Duration = c.Tick / 2 },
+		"no profile push": func(c *ChaosConfig) { c.ProfileEvery = 0 },
+	} {
+		cfg := DefaultChaosConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: config validated", name)
+		}
+		if _, err := RunChaos(cfg); err == nil {
+			t.Errorf("%s: RunChaos accepted invalid config", name)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package invariant is the runtime safety checker for cluster and fleet
+// experiments. It continuously asserts, on every simulation tick, the
+// properties SmartOClock's design promises to uphold regardless of faults
+// (§IV, §VI):
+//
+//   - rack power never exceeds the provisioned limit for longer than the
+//     enforcement-latency window (warnings + capping must bring it back);
+//   - per-core lifetime (overclocking-time) budgets are never overdrawn —
+//     checked by independent accounting, not by trusting the budget
+//     bookkeeping under test;
+//   - no session runs above its granted frequency;
+//   - the gOA's heterogeneous budget split conserves the rack limit.
+//
+// Violations carry the tick, rack and invariant name so a failing chaos run
+// points straight at the broken property.
+package invariant
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"smartoclock/internal/core"
+	"smartoclock/internal/lifetime"
+	"smartoclock/internal/power"
+)
+
+// Violation is one failed assertion at one tick.
+type Violation struct {
+	Time      time.Time
+	Rack      string
+	Invariant string
+	Detail    string
+}
+
+// String formats the violation for test failure output.
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] rack=%s invariant=%s: %s",
+		v.Time.Format(time.RFC3339), v.Rack, v.Invariant, v.Detail)
+}
+
+// Reporter records a violation's detail; the checker fills in tick, rack
+// and invariant name.
+type Reporter func(detail string)
+
+// check is one registered invariant.
+type check struct {
+	name string
+	rack string
+	fn   func(now time.Time, report Reporter)
+}
+
+// Checker runs registered invariants and collects violations.
+type Checker struct {
+	checks []check
+	nRuns  int64
+
+	// MaxRecord caps stored violations so a badly broken run doesn't eat
+	// memory; the total count keeps incrementing past it.
+	MaxRecord  int
+	violations []Violation
+	total      int
+}
+
+// NewChecker returns an empty checker recording up to 100 violations.
+func NewChecker() *Checker { return &Checker{MaxRecord: 100} }
+
+// Register adds an invariant. fn is called on every Check with the current
+// tick time and a reporter for violations.
+func (c *Checker) Register(invariantName, rack string, fn func(now time.Time, report Reporter)) {
+	c.checks = append(c.checks, check{name: invariantName, rack: rack, fn: fn})
+}
+
+// Check runs every registered invariant at tick time now.
+func (c *Checker) Check(now time.Time) {
+	c.nRuns++
+	for _, ck := range c.checks {
+		ck.fn(now, func(detail string) {
+			c.total++
+			if len(c.violations) < c.MaxRecord {
+				c.violations = append(c.violations, Violation{
+					Time: now, Rack: ck.rack, Invariant: ck.name, Detail: detail,
+				})
+			}
+		})
+	}
+}
+
+// Checks returns how many times Check ran.
+func (c *Checker) Checks() int64 { return c.nRuns }
+
+// Total returns the total violation count, including unrecorded ones.
+func (c *Checker) Total() int { return c.total }
+
+// Violations returns the recorded violations.
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// Err returns nil when no invariant was violated; otherwise an error
+// naming every recorded violation, ready for t.Fatal.
+func (c *Checker) Err() error {
+	if c.total == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d invariant violation(s) in %d checks:", c.total, c.nRuns)
+	for _, v := range c.violations {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	if c.total > len(c.violations) {
+		fmt.Fprintf(&b, "\n  ... and %d more", c.total-len(c.violations))
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// --- Canned invariants -----------------------------------------------------
+
+// RackPowerWithinLimit asserts that rack draw never stays above the limit
+// longer than grace — the enforcement-latency window within which warnings
+// and prioritized capping must have brought the rack back under budget.
+// Instantaneous excursions shorter than grace are the paper's expected
+// operating regime (the rack manager polls, then enforces).
+func RackPowerWithinLimit(c *Checker, rack *power.Rack, grace time.Duration) {
+	var overSince time.Time
+	over := false
+	c.Register("rack-power-within-limit", rack.Name(), func(now time.Time, report Reporter) {
+		limit := rack.Config().LimitWatts
+		p := rack.Power()
+		if p <= limit {
+			over = false
+			return
+		}
+		if !over {
+			over = true
+			overSince = now
+			return
+		}
+		if d := now.Sub(overSince); d > grace {
+			report(fmt.Sprintf("draw %.1f W > limit %.1f W for %v (> enforcement window %v)",
+				p, limit, d, grace))
+			// Re-arm so a persistent breach reports once per grace window
+			// instead of every tick.
+			overSince = now
+		}
+	})
+}
+
+// OCHost is the server surface the lifetime and frequency invariants
+// observe: effective (post-cap) per-core frequency. cluster.Server
+// implements it.
+type OCHost interface {
+	Name() string
+	NumCores() int
+	TurboMHz() int
+	MaxOCMHz() int
+	EffectiveFreq(core int) int
+}
+
+// CoreBudgetsNeverOverdrawn asserts, by independent accounting, that no
+// core spends more time overclocked than its epoch allowances permit:
+// cumulative overclocked time of core i by time T must not exceed
+// ceil((T-start)/epoch) × allowance (carry-over only defers spending, it
+// never mints budget). slack absorbs tick-sampling error — one or two
+// control ticks is plenty.
+//
+// The accounting lives here, outside the lifetime.Budget under test, so a
+// double-spend bug in the budget bookkeeping (or an sOA forgetting to
+// charge after a crash-restart) is caught rather than mirrored.
+func CoreBudgetsNeverOverdrawn(c *Checker, rack string, host OCHost, cfg lifetime.BudgetConfig, start time.Time, slack time.Duration) {
+	acc := make([]time.Duration, host.NumCores())
+	// Frequencies are sampled at the start of each inter-check interval:
+	// in a discrete-event run every transition lands on a tick boundary,
+	// which makes this accounting exact rather than off by one tick per
+	// session start.
+	prev := make([]int, host.NumCores())
+	turbo := host.TurboMHz()
+	for i := range prev {
+		prev[i] = host.EffectiveFreq(i)
+	}
+	last := start
+	allowance := cfg.Allowance()
+	c.Register("core-budget-never-overdrawn", rack, func(now time.Time, report Reporter) {
+		dt := now.Sub(last)
+		last = now
+		epochs := int64(now.Sub(start)/cfg.Epoch) + 1
+		budget := time.Duration(epochs)*allowance + slack
+		for i := 0; i < host.NumCores(); i++ {
+			cur := host.EffectiveFreq(i)
+			if dt > 0 && prev[i] > turbo {
+				acc[i] += dt
+				if acc[i] > budget {
+					report(fmt.Sprintf("server %s core %d overclocked %v, budget %v over %d epoch(s)",
+						host.Name(), i, acc[i], budget, epochs))
+				}
+			}
+			prev[i] = cur
+		}
+	})
+}
+
+// SOASource returns the current sOA for a server — a func, not a pointer,
+// because chaos experiments replace the sOA object on crash/restart.
+type SOASource func() *core.SOA
+
+// SessionsWithinGrant asserts that every active session runs at or below
+// the frequency it was granted: the session's feedback frequency never
+// exceeds its target, and the cores' effective frequency never exceeds the
+// session's setting (capping may only lower it).
+func SessionsWithinGrant(c *Checker, rack string, host OCHost, soa SOASource) {
+	c.Register("session-within-grant", rack, func(now time.Time, report Reporter) {
+		a := soa()
+		if a == nil {
+			return
+		}
+		maxOC := host.MaxOCMHz()
+		for vm, s := range a.Sessions() {
+			cur := s.CurrentMHz()
+			if cur > s.TargetMHz || cur > maxOC {
+				report(fmt.Sprintf("server %s vm %s at %d MHz beyond grant (target %d, max OC %d)",
+					host.Name(), vm, cur, s.TargetMHz, maxOC))
+				continue
+			}
+			for _, cr := range s.Cores {
+				if eff := host.EffectiveFreq(cr); eff > cur {
+					report(fmt.Sprintf("server %s vm %s core %d effective %d MHz above session setting %d",
+						host.Name(), vm, cr, eff, cur))
+				}
+			}
+		}
+	})
+}
+
+// BudgetConservation asserts the gOA's heterogeneous split conserves the
+// rack limit: per-server budgets must sum to the limit within epsilon
+// (never above it — over-allocation is how decentralized enforcement loses
+// its safety net; under-allocation wastes provisioned power).
+func BudgetConservation(c *Checker, goa *core.GOA, epsilon float64) {
+	c.Register("goa-budget-conservation", goa.Rack(), func(now time.Time, report Reporter) {
+		budgets := goa.BudgetsAt(now)
+		if len(budgets) == 0 {
+			return // no profiles yet: nothing to conserve
+		}
+		sum := 0.0
+		for _, b := range budgets {
+			sum += b
+		}
+		if math.Abs(sum-goa.Limit()) > epsilon {
+			report(fmt.Sprintf("budgets sum to %.3f W, limit %.3f W (|Δ| > %g)",
+				sum, goa.Limit(), epsilon))
+		}
+	})
+}

@@ -22,6 +22,11 @@ type Engine struct {
 	seq    int64
 	rng    *rand.Rand
 	nProc  int64
+	// ncanceled counts heap events whose timer was canceled but whose
+	// deadline has not popped yet; when they outnumber live events the
+	// heap is compacted so long-lived engines with heavy timer churn
+	// (e.g. retry timers canceled on success) don't accumulate garbage.
+	ncanceled int
 }
 
 // NewEngine returns an engine whose clock starts at start, with a
@@ -45,14 +50,62 @@ func (e *Engine) Pending() int { return len(e.events) }
 // Timer is a handle to a scheduled event; Cancel prevents it from firing.
 type Timer struct {
 	canceled bool
+	eng      *Engine
+	// pending is the number of heap events referencing this timer (0 or 1:
+	// a one-shot timer's single event, or a ticker's next occurrence).
+	pending int
 }
 
 // Cancel prevents the timer's event from firing. Canceling an already-fired
 // or already-canceled timer is a no-op.
-func (t *Timer) Cancel() { t.canceled = true }
+func (t *Timer) Cancel() {
+	if t.canceled {
+		return
+	}
+	t.canceled = true
+	if t.eng != nil && t.pending > 0 {
+		t.eng.noteCanceled()
+	}
+}
 
 // Canceled reports whether Cancel was called.
 func (t *Timer) Canceled() bool { return t.canceled }
+
+// push adds ev to the heap, tracking how many events reference its timer.
+func (e *Engine) push(ev *event) {
+	if ev.timer != nil {
+		ev.timer.pending++
+	}
+	heap.Push(&e.events, ev)
+}
+
+// noteCanceled records that a pending event's timer was canceled and
+// compacts the heap once canceled events outnumber live ones.
+func (e *Engine) noteCanceled() {
+	e.ncanceled++
+	if e.ncanceled*2 > len(e.events) {
+		e.compact()
+	}
+}
+
+// compact rebuilds the heap without events whose timer is canceled.
+func (e *Engine) compact() {
+	live := e.events[:0]
+	for _, ev := range e.events {
+		if ev.timer != nil && ev.timer.canceled {
+			ev.timer.pending--
+			continue
+		}
+		live = append(live, ev)
+	}
+	// Zero the tail so dropped events are collectable.
+	for i := len(live); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = live
+	e.ncanceled = 0
+	heap.Init(&e.events)
+}
 
 // At schedules fn to run at virtual time at. Times in the past run at the
 // current time (immediately on the next Step). The returned Timer can cancel
@@ -61,9 +114,9 @@ func (e *Engine) At(at time.Time, fn func()) *Timer {
 	if at.Before(e.now) {
 		at = e.now
 	}
-	t := &Timer{}
+	t := &Timer{eng: e}
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn, timer: t})
+	e.push(&event{at: at, seq: e.seq, fn: fn, timer: t})
 	return t
 }
 
@@ -79,7 +132,7 @@ func (e *Engine) Every(start time.Time, interval time.Duration, fn func(time.Tim
 	if interval <= 0 {
 		panic(fmt.Sprintf("sim: non-positive interval %v", interval))
 	}
-	t := &Timer{}
+	t := &Timer{eng: e}
 	var tick func()
 	next := start
 	tick = func() {
@@ -93,14 +146,14 @@ func (e *Engine) Every(start time.Time, interval time.Duration, fn func(time.Tim
 		}
 		next = at.Add(interval)
 		e.seq++
-		heap.Push(&e.events, &event{at: next, seq: e.seq, fn: tick, timer: t})
+		e.push(&event{at: next, seq: e.seq, fn: tick, timer: t})
 	}
 	e.seq++
 	if start.Before(e.now) {
 		start = e.now
 		next = start
 	}
-	heap.Push(&e.events, &event{at: start, seq: e.seq, fn: tick, timer: t})
+	e.push(&event{at: start, seq: e.seq, fn: tick, timer: t})
 	return t
 }
 
@@ -109,8 +162,14 @@ func (e *Engine) Every(start time.Time, interval time.Duration, fn func(time.Tim
 func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*event)
-		if ev.timer != nil && ev.timer.canceled {
-			continue
+		if ev.timer != nil {
+			ev.timer.pending--
+			if ev.timer.canceled {
+				if e.ncanceled > 0 {
+					e.ncanceled--
+				}
+				continue
+			}
 		}
 		e.now = ev.at
 		e.nProc++

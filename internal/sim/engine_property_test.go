@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+var propStart = time.Date(2023, 4, 10, 0, 0, 0, 0, time.UTC)
+
+// TestCompactionOnHeavyCancel is the regression test for the canceled-event
+// retention bug: canceled events used to sit in the heap until their
+// deadline popped them, so engines with timer churn (retries canceled on
+// success) grew without bound. The heap must compact once canceled events
+// exceed half of pending.
+func TestCompactionOnHeavyCancel(t *testing.T) {
+	e := NewEngine(propStart, 1)
+	const n = 1000
+	timers := make([]*Timer, n)
+	for i := 0; i < n; i++ {
+		// Far-future deadlines: nothing pops them during the test.
+		timers[i] = e.After(time.Duration(i+1)*time.Hour, func() {})
+	}
+	if e.Pending() != n {
+		t.Fatalf("pending = %d, want %d", e.Pending(), n)
+	}
+	// Cancel just under half: no compaction yet.
+	for i := 0; i < n/2; i++ {
+		timers[i].Cancel()
+	}
+	if e.Pending() != n {
+		t.Fatalf("pending = %d after %d cancels, compaction ran too early", e.Pending(), n/2)
+	}
+	// One more cancel tips canceled over half of pending.
+	timers[n/2].Cancel()
+	if want := n - n/2 - 1; e.Pending() != want {
+		t.Fatalf("pending = %d after compaction, want %d", e.Pending(), want)
+	}
+	// The surviving events still fire.
+	e.RunAll()
+	if got := e.Processed(); got != int64(n-n/2-1) {
+		t.Fatalf("processed = %d, want %d", got, n-n/2-1)
+	}
+}
+
+// TestCompactionRepeatedChurn exercises the amortized path: waves of
+// schedule-then-cancel must not accumulate heap garbage across compactions.
+func TestCompactionRepeatedChurn(t *testing.T) {
+	e := NewEngine(propStart, 1)
+	keep := e.After(1000*time.Hour, func() {})
+	defer keep.Cancel()
+	for wave := 0; wave < 50; wave++ {
+		var ts []*Timer
+		for i := 0; i < 100; i++ {
+			ts = append(ts, e.After(time.Duration(wave*100+i+1)*time.Minute, func() {}))
+		}
+		for _, tm := range ts {
+			tm.Cancel()
+		}
+		if e.Pending() > 101 {
+			t.Fatalf("wave %d: pending = %d, heap retains canceled events", wave, e.Pending())
+		}
+	}
+}
+
+// TestCancelAfterFireIsHarmless: canceling an already-fired one-shot timer
+// must not corrupt the canceled-event accounting.
+func TestCancelAfterFireIsHarmless(t *testing.T) {
+	e := NewEngine(propStart, 1)
+	tm := e.After(time.Second, func() {})
+	e.RunAll()
+	tm.Cancel() // no pending event: must be a no-op
+	tm.Cancel()
+	if e.ncanceled != 0 {
+		t.Fatalf("ncanceled = %d after canceling fired timer", e.ncanceled)
+	}
+	// Engine still works normally.
+	ran := false
+	e.After(time.Second, func() { ran = true })
+	e.RunAll()
+	if !ran {
+		t.Fatal("event scheduled after stale cancel never ran")
+	}
+}
+
+// runScripted executes a randomized but seed-determined schedule and
+// returns the execution trace: event labels in the order they ran.
+func runScripted(seed int64) []string {
+	e := NewEngine(propStart, seed)
+	var order []string
+	rng := rand.New(rand.NewSource(seed))
+	var tickers []*Timer
+	for i := 0; i < 40; i++ {
+		i := i
+		delay := time.Duration(rng.Intn(3600)) * time.Second
+		switch rng.Intn(3) {
+		case 0:
+			e.After(delay, func() { order = append(order, fmt.Sprintf("after-%d@%v", i, e.Now())) })
+		case 1:
+			// Nested scheduling from inside a callback.
+			e.After(delay, func() {
+				order = append(order, fmt.Sprintf("outer-%d@%v", i, e.Now()))
+				e.After(time.Duration(rng.Intn(600))*time.Second, func() {
+					order = append(order, fmt.Sprintf("inner-%d@%v", i, e.Now()))
+				})
+			})
+		default:
+			n := 0
+			var tk *Timer
+			tk = e.Every(e.Now().Add(delay), time.Duration(1+rng.Intn(900))*time.Second, func(at time.Time) {
+				order = append(order, fmt.Sprintf("tick-%d-%d@%v", i, n, at))
+				n++
+				if n >= 5 {
+					tk.Cancel()
+				}
+			})
+			tickers = append(tickers, tk)
+		}
+	}
+	e.Run(propStart.Add(2 * time.Hour))
+	for _, tk := range tickers {
+		tk.Cancel()
+	}
+	e.RunAll()
+	return order
+}
+
+// TestSameSeedSameEventOrder: same seed ⇒ byte-identical event order across
+// two independent runs (the determinism property every chaos experiment
+// leans on).
+func TestSameSeedSameEventOrder(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		a := runScripted(seed)
+		b := runScripted(seed)
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: run lengths differ: %d vs %d", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: event %d differs: %q vs %q", seed, i, a[i], b[i])
+			}
+		}
+		if len(a) == 0 {
+			t.Fatalf("seed %d: empty trace", seed)
+		}
+	}
+}
+
+// TestEveryCanceledInsideCallbackNeverFiresAgain: a ticker canceled from
+// inside its own callback must not fire again, for any phase/interval.
+func TestEveryCanceledInsideCallbackNeverFiresAgain(t *testing.T) {
+	for trial := 0; trial < 100; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		e := NewEngine(propStart, int64(trial))
+		interval := time.Duration(1+rng.Intn(300)) * time.Second
+		cancelAt := 1 + rng.Intn(7) // fire count at which the callback cancels
+		fires := 0
+		var tk *Timer
+		tk = e.Every(propStart.Add(time.Duration(rng.Intn(60))*time.Second), interval, func(time.Time) {
+			fires++
+			if fires >= cancelAt {
+				tk.Cancel()
+			}
+		})
+		e.RunAll()
+		if fires != cancelAt {
+			t.Fatalf("trial %d: ticker fired %d times, want exactly %d", trial, fires, cancelAt)
+		}
+		if e.Pending() != 0 {
+			t.Fatalf("trial %d: %d events left after RunAll", trial, e.Pending())
+		}
+	}
+}
+
+// TestRunLeavesClockExactlyAtUntil: Run(until) must leave the clock at
+// until — whether events stop before it, land exactly on it, or none exist.
+func TestRunLeavesClockExactlyAtUntil(t *testing.T) {
+	for trial := 0; trial < 100; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		e := NewEngine(propStart, 1)
+		until := propStart.Add(time.Duration(1+rng.Intn(7200)) * time.Second)
+		for i := 0; i < rng.Intn(20); i++ {
+			e.After(time.Duration(rng.Intn(10000))*time.Second, func() {})
+		}
+		if rng.Intn(2) == 0 {
+			e.At(until, func() {}) // boundary event: exclusive, must not run
+		}
+		e.Run(until)
+		if !e.Now().Equal(until) {
+			t.Fatalf("trial %d: clock at %v, want exactly %v", trial, e.Now(), until)
+		}
+		// Remaining events must all be at or after until (Run is exclusive).
+		for e.Step() {
+			if e.Now().Before(until) {
+				t.Fatalf("trial %d: event before until survived Run", trial)
+			}
+		}
+	}
+}
