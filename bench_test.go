@@ -10,6 +10,8 @@
 package main
 
 import (
+	"fmt"
+	"runtime"
 	"strconv"
 	"testing"
 	"time"
@@ -234,6 +236,31 @@ func BenchmarkTable1Comparison(b *testing.B) {
 				b.ReportMetric(r.SuccessPct, "high-central-success-%")
 			}
 		}
+	}
+}
+
+// BenchmarkTable1Workers measures the scaling trajectory of the parallel
+// fleet runner: the same Table I workload at 1/2/4/NumCPU workers. With
+// per-rack seed derivation the results are identical at every count, so
+// the sub-benchmarks differ only in wall-clock. cmd/socbench runs the
+// same sweep standalone and writes BENCH_fleet.json.
+func BenchmarkTable1Workers(b *testing.B) {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, w := range counts {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := benchFleetCfg()
+			cfg.Workers = w
+			for i := 0; i < b.N; i++ {
+				if _, _, err := experiment.RunTable1(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(3*5*cfg.RacksPerClass)/b.Elapsed().Seconds()*float64(b.N), "racks/sec")
+		})
 	}
 }
 

@@ -1,0 +1,144 @@
+// Command socbench measures the parallel fleet-simulation scaling
+// trajectory: it runs the Table I experiment at several worker counts and
+// writes a BENCH_fleet.json with wall-clock time, racks/sec throughput and
+// allocation counts per configuration. It also cross-checks that every
+// worker count produced a byte-identical table — the determinism contract
+// the parallel runner guarantees.
+//
+// Usage:
+//
+//	socbench [-racks N] [-traindays D] [-evaldays D] [-seed S] [-out FILE]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"smartoclock/internal/experiment"
+)
+
+// benchPoint is one worker-count measurement in BENCH_fleet.json.
+type benchPoint struct {
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+	RacksPerSec float64 `json:"racks_per_sec"`
+	Allocs      uint64  `json:"allocs"`
+	BytesAlloc  uint64  `json:"bytes_alloc"`
+	Speedup     float64 `json:"speedup_vs_1"`
+}
+
+// benchReport is the top-level BENCH_fleet.json document.
+type benchReport struct {
+	Timestamp     string       `json:"timestamp"`
+	GoMaxProcs    int          `json:"gomaxprocs"`
+	NumCPU        int          `json:"num_cpu"`
+	RacksPerClass int          `json:"racks_per_class"`
+	TotalRacks    int          `json:"total_racks"`
+	TrainDays     int          `json:"train_days"`
+	EvalDays      int          `json:"eval_days"`
+	Seed          int64        `json:"seed"`
+	Deterministic bool         `json:"deterministic_across_workers"`
+	Points        []benchPoint `json:"points"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("socbench: ")
+
+	racks := flag.Int("racks", 4, "racks per power class")
+	trainDays := flag.Int("traindays", 7, "trace days used to fit templates")
+	evalDays := flag.Int("evaldays", 3, "simulated days with the agents running")
+	seed := flag.Int64("seed", 1, "deterministic generation seed")
+	out := flag.String("out", "BENCH_fleet.json", "output JSON path")
+	flag.Parse()
+
+	// Worker counts: 1, 2, 4, ..., NumCPU, deduplicated and sorted. On a
+	// single-core host this degenerates to just {1}, which still yields a
+	// valid (if flat) trajectory.
+	counts := map[int]bool{1: true, 2: true, 4: true, runtime.NumCPU(): true}
+	var workerCounts []int
+	for w := range counts {
+		if w >= 1 {
+			workerCounts = append(workerCounts, w)
+		}
+	}
+	sort.Ints(workerCounts)
+
+	cfg := experiment.DefaultFleetSimConfig()
+	cfg.RacksPerClass = *racks
+	cfg.TrainDays = *trainDays
+	cfg.EvalDays = *evalDays
+	cfg.Seed = *seed
+	// Table I simulates every (class, system) pair over RacksPerClass racks:
+	// 3 classes x 5 systems.
+	totalRacks := 3 * 5 * cfg.RacksPerClass
+
+	rep := benchReport{
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		RacksPerClass: cfg.RacksPerClass,
+		TotalRacks:    totalRacks,
+		TrainDays:     cfg.TrainDays,
+		EvalDays:      cfg.EvalDays,
+		Seed:          cfg.Seed,
+		Deterministic: true,
+	}
+
+	var refTable string
+	var baseWall float64
+	for _, w := range workerCounts {
+		cfg.Workers = w
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		tbl, _, err := experiment.RunTable1(cfg)
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			log.Fatalf("workers=%d: %v", w, err)
+		}
+		formatted := tbl.Format()
+		if refTable == "" {
+			refTable = formatted
+		} else if formatted != refTable {
+			rep.Deterministic = false
+			log.Printf("WARNING: workers=%d produced a different table than workers=%d", w, workerCounts[0])
+		}
+
+		pt := benchPoint{
+			Workers:     w,
+			WallSeconds: wall.Seconds(),
+			RacksPerSec: float64(totalRacks) / wall.Seconds(),
+			Allocs:      after.Mallocs - before.Mallocs,
+			BytesAlloc:  after.TotalAlloc - before.TotalAlloc,
+		}
+		if baseWall == 0 {
+			baseWall = pt.WallSeconds
+		}
+		pt.Speedup = baseWall / pt.WallSeconds
+		rep.Points = append(rep.Points, pt)
+		fmt.Fprintf(os.Stderr, "socbench: workers=%-3d wall=%.2fs racks/sec=%.1f allocs=%d speedup=%.2fx\n",
+			w, pt.WallSeconds, pt.RacksPerSec, pt.Allocs, pt.Speedup)
+	}
+
+	if !rep.Deterministic {
+		defer os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "socbench: wrote %s\n", *out)
+}

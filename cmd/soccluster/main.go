@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"smartoclock/internal/experiment"
@@ -29,6 +30,7 @@ func main() {
 	warmup := flag.Int("warmup", 8, "warmup minutes excluded from measurement")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	limitScale := flag.Float64("limitscale", 0.80, "rack limit scale for the power-constrained run")
+	workers := flag.Int("workers", runtime.NumCPU(), "concurrent emulation workers across the system sweep (results are identical at any count)")
 	runMain := flag.Bool("main", false, "run only Figs 12-14")
 	runPower := flag.Bool("powerconstrained", false, "run only the power-constrained comparison")
 	runOC := flag.Bool("occonstrained", false, "run only the overclocking-constrained comparison")
@@ -39,6 +41,7 @@ func main() {
 	base.Duration = time.Duration(*minutes) * time.Minute
 	base.Warmup = time.Duration(*warmup) * time.Minute
 	base.Seed = *seed
+	base.Workers = *workers
 
 	if *runMain || all {
 		fmt.Fprintf(os.Stderr, "soccluster: emulating %v across 4 systems...\n", base.Duration)

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"smartoclock/internal/experiment"
 )
@@ -30,6 +31,7 @@ func main() {
 	trainDays := flag.Int("traindays", 7, "trace days used to fit templates")
 	evalDays := flag.Int("evaldays", 5, "simulated days with the agents running")
 	seed := flag.Int64("seed", 1, "deterministic generation seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "concurrent rack-simulation workers (results are identical at any count)")
 	fig15Racks := flag.Int("fig15racks", 30, "racks for the Fig 15 prediction study")
 	runTable1 := flag.Bool("table1", false, "run only Table I")
 	runFig15 := flag.Bool("fig15", false, "run only Fig 15")
@@ -61,8 +63,9 @@ func main() {
 		cfg.TrainDays = *trainDays
 		cfg.EvalDays = *evalDays
 		cfg.Seed = *seed
-		fmt.Fprintf(os.Stderr, "socsim: simulating %d racks/class, %d train + %d eval days...\n",
-			cfg.RacksPerClass, cfg.TrainDays, cfg.EvalDays)
+		cfg.Workers = *workers
+		fmt.Fprintf(os.Stderr, "socsim: simulating %d racks/class, %d train + %d eval days (%d workers)...\n",
+			cfg.RacksPerClass, cfg.TrainDays, cfg.EvalDays, *workers)
 		tbl, _, err := experiment.RunTable1(cfg)
 		if err != nil {
 			log.Fatal(err)
@@ -82,6 +85,7 @@ func main() {
 		cfg.TrainDays = *trainDays
 		cfg.EvalDays = *evalDays
 		cfg.Seed = *seed
+		cfg.Workers = *workers
 		for _, run := range []func(experiment.FleetSimConfig) (*experiment.Table, error){
 			experiment.RunAblationTemplates,
 			experiment.RunAblationExploreStep,

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"smartoclock/internal/lifetime"
@@ -160,6 +159,11 @@ type SOA struct {
 	// Statistics.
 	granted  int
 	rejected int
+
+	// sessScratch backs sortedSessions: the ordering is recomputed inside
+	// every feedback tick, and reusing the slice keeps the per-tick hot
+	// path allocation-free.
+	sessScratch []*Session
 }
 
 // NewSOA creates an sOA for host with per-core overclock budgets budgets.
@@ -439,19 +443,30 @@ func (a *SOA) OnRackEvent(now time.Time, ev power.Event) {
 }
 
 // sortedSessions returns active sessions ordered low→high priority
-// (stable by VM name for determinism).
+// (stable by VM name for determinism). The returned slice is the sOA's
+// scratch buffer: valid until the next call, never retained by callers.
 func (a *SOA) sortedSessions() []*Session {
-	out := make([]*Session, 0, len(a.sessions))
+	out := a.sessScratch[:0]
 	for _, s := range a.sessions {
 		out = append(out, s)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Priority != out[j].Priority {
-			return out[i].Priority < out[j].Priority
+	a.sessScratch = out
+	// Insertion sort: a server hosts at most a handful of sessions, and
+	// unlike sort.Slice this keeps the per-tick path allocation-free.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && sessBefore(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
 		}
-		return out[i].VM < out[j].VM
-	})
+	}
 	return out
+}
+
+// sessBefore orders sessions low→high priority, ties broken by VM name.
+func sessBefore(a, b *Session) bool {
+	if a.Priority != b.Priority {
+		return a.Priority < b.Priority
+	}
+	return a.VM < b.VM
 }
 
 // applyFreq pushes a session's current frequency to its cores.

@@ -7,6 +7,7 @@ import (
 
 	"smartoclock/internal/baselines"
 	"smartoclock/internal/core"
+	"smartoclock/internal/parallel"
 	"smartoclock/internal/predict"
 	"smartoclock/internal/stats"
 	"smartoclock/internal/timeseries"
@@ -50,22 +51,20 @@ func runHighPower(cfg FleetSimConfig, sys baselines.System) (ablationPoint, erro
 	if err != nil {
 		return ablationPoint{}, err
 	}
-	var caps, reqs, succ, perfN int
-	var perfSum float64
-	for _, fr := range fleet.ByClass(trace.HighPower) {
-		c, r, s, _, _, fs, fn := rackRun(fr.RackTrace, sys, cfg)
-		caps += c
-		reqs += r
-		succ += s
-		perfSum += fs
-		perfN += fn
+	racks := fleet.ByClass(trace.HighPower)
+	results := parallel.Map(len(racks), fleetOpts(cfg), func(i int) rackMetrics {
+		return rackRun(racks[i].RackTrace, sys, cfg)
+	})
+	var agg rackMetrics
+	for _, m := range results {
+		agg.accumulate(m)
 	}
-	pt := ablationPoint{caps: caps}
-	if reqs > 0 {
-		pt.success = 100 * float64(succ) / float64(reqs)
+	pt := ablationPoint{caps: agg.caps}
+	if agg.requests > 0 {
+		pt.success = 100 * float64(agg.successes) / float64(agg.requests)
 	}
-	if perfN > 0 {
-		pt.normPerf = perfSum / float64(perfN)
+	if agg.perfN > 0 {
+		pt.normPerf = agg.perfSum / float64(agg.perfN)
 	}
 	return pt, nil
 }
@@ -83,16 +82,40 @@ func RunAblationTemplates(base FleetSimConfig) (*Table, error) {
 		Caption: "Ablation: power-template strategy for admission control (NoFeedback regime, High-Power racks)",
 		Headers: []string{"Template", "CapEvents", "Success", "Norm.Performance"},
 	}
-	for _, strategy := range []string{"dailymed", "dailymax", "flatmed", "flatmax", "weekly"} {
+	strategies := []string{"dailymed", "dailymax", "flatmed", "flatmax", "weekly"}
+	pts, err := sweepAblation(base, len(strategies), func(i int) (ablationPoint, error) {
 		cfg := base
-		cfg.TemplateStrategy = strategy
-		pt, err := runHighPower(cfg, baselines.NoFeedback)
-		if err != nil {
-			return nil, err
-		}
-		tbl.AddRow(strategy, pt.caps, fmt.Sprintf("%.0f%%", pt.success), fmt.Sprintf("%.3f", pt.normPerf))
+		cfg.TemplateStrategy = strategies[i]
+		return runHighPower(cfg, baselines.NoFeedback)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range pts {
+		tbl.AddRow(strategies[i], pt.caps, fmt.Sprintf("%.0f%%", pt.success), fmt.Sprintf("%.3f", pt.normPerf))
 	}
 	return tbl, nil
+}
+
+// sweepAblation runs independent configuration points concurrently and
+// returns their results in sweep order; the first error wins.
+func sweepAblation(base FleetSimConfig, n int, run func(i int) (ablationPoint, error)) ([]ablationPoint, error) {
+	type out struct {
+		pt  ablationPoint
+		err error
+	}
+	outs := parallel.Map(n, fleetOpts(base), func(i int) out {
+		pt, err := run(i)
+		return out{pt, err}
+	})
+	pts := make([]ablationPoint, n)
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		pts[i] = o.pt
+	}
+	return pts, nil
 }
 
 // RunAblationExploreStep sweeps the exploration increment (§IV-D): zero
@@ -103,15 +126,18 @@ func RunAblationExploreStep(base FleetSimConfig) (*Table, error) {
 		Caption: "Ablation: exploration step size (SmartOClock, High-Power racks)",
 		Headers: []string{"StepWatts", "CapEvents", "Success", "Norm.Performance"},
 	}
-	for _, step := range []float64{-1, 20, 40, 80, 160} {
+	steps := []float64{-1, 20, 40, 80, 160}
+	pts, err := sweepAblation(base, len(steps), func(i int) (ablationPoint, error) {
 		cfg := base
-		cfg.ExploreStepWatts = step
-		pt, err := runHighPowerSmart(cfg)
-		if err != nil {
-			return nil, err
-		}
-		label := fmt.Sprintf("%.0f", step)
-		if step < 0 {
+		cfg.ExploreStepWatts = steps[i]
+		return runHighPowerSmart(cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range pts {
+		label := fmt.Sprintf("%.0f", steps[i])
+		if steps[i] < 0 {
 			label = "disabled"
 		}
 		tbl.AddRow(label, pt.caps, fmt.Sprintf("%.0f%%", pt.success), fmt.Sprintf("%.3f", pt.normPerf))
@@ -127,14 +153,17 @@ func RunAblationWarnThreshold(base FleetSimConfig) (*Table, error) {
 		Caption: "Ablation: rack warning threshold (SmartOClock, High-Power racks)",
 		Headers: []string{"WarnFraction", "CapEvents", "Success", "Norm.Performance"},
 	}
-	for _, wf := range []float64{0.85, 0.90, 0.95, 0.99} {
+	fractions := []float64{0.85, 0.90, 0.95, 0.99}
+	pts, err := sweepAblation(base, len(fractions), func(i int) (ablationPoint, error) {
 		cfg := base
-		cfg.WarnFraction = wf
-		pt, err := runHighPowerSmart(cfg)
-		if err != nil {
-			return nil, err
-		}
-		tbl.AddRow(fmt.Sprintf("%.2f", wf), pt.caps, fmt.Sprintf("%.0f%%", pt.success), fmt.Sprintf("%.3f", pt.normPerf))
+		cfg.WarnFraction = fractions[i]
+		return runHighPowerSmart(cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range pts {
+		tbl.AddRow(fmt.Sprintf("%.2f", fractions[i]), pt.caps, fmt.Sprintf("%.0f%%", pt.success), fmt.Sprintf("%.3f", pt.normPerf))
 	}
 	return tbl, nil
 }
@@ -180,22 +209,23 @@ func RunDatacenterRebalance(base FleetSimConfig) (*Table, error) {
 	totalBudget := 1.05 * (stats.P99(hot.RackPower().Values) + stats.P99(quiet.RackPower().Values))
 
 	run := func(hotLimit, quietLimit float64) (success float64, caps int) {
-		var reqs, succ, capsN int
-		for _, pair := range []struct {
+		pairs := []struct {
 			rt    *trace.RackTrace
 			limit float64
-		}{{hot, hotLimit}, {quiet, quietLimit}} {
-			rt := *pair.rt // shallow copy so the limit override is local
-			rt.LimitWatts = pair.limit
-			c, r, s, _, _, _, _ := rackRun(&rt, baselines.SmartOClock, base)
-			reqs += r
-			succ += s
-			capsN += c
+		}{{hot, hotLimit}, {quiet, quietLimit}}
+		results := parallel.Map(len(pairs), fleetOpts(base), func(i int) rackMetrics {
+			rt := *pairs[i].rt // shallow copy so the limit override is local
+			rt.LimitWatts = pairs[i].limit
+			return rackRun(&rt, baselines.SmartOClock, base)
+		})
+		var agg rackMetrics
+		for _, m := range results {
+			agg.accumulate(m)
 		}
-		if reqs > 0 {
-			success = 100 * float64(succ) / float64(reqs)
+		if agg.requests > 0 {
+			success = 100 * float64(agg.successes) / float64(agg.requests)
 		}
-		return success, capsN
+		return success, agg.caps
 	}
 
 	// Static even split of the shared budget.

@@ -87,6 +87,14 @@ type ClusterConfig struct {
 	ProvisionDelay time.Duration
 
 	System ClusterSystem
+
+	// Workers bounds how many independent cluster emulations run
+	// concurrently in the multi-system sweeps (RunFig12To14,
+	// RunPowerConstrained, RunOCConstrained); <= 0 selects GOMAXPROCS.
+	// A single RunCluster is inherently serial — one shared rack state —
+	// so the system sweep is the sharding unit. Results are identical for
+	// any worker count: each run owns its own rng seeded from cfg.Seed.
+	Workers int
 }
 
 // DefaultClusterConfig mirrors the paper's testbed: 36 overclockable

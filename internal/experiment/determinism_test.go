@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+)
+
+// These tests pin the central contract of the parallel fleet runner: the
+// worker count and the shard dispatch order are pure performance knobs.
+// Every experiment entry point must produce byte-identical tables whether
+// it runs serially, across 8 workers, or with shards dispatched in a
+// shuffled order. Seed derivation (parallel.ChildSeed) plus fixed-index
+// reduction make this hold exactly, not just statistically.
+
+// table1Formatted runs Table I at smoke scale and returns the formatted
+// table, which captures every reported metric at full float precision.
+func table1Formatted(t *testing.T, seed int64, workers int, shuffle int64) string {
+	t.Helper()
+	cfg := smokeFleetCfg()
+	cfg.Seed = seed
+	cfg.Workers = workers
+	cfg.ShuffleShards = shuffle
+	tbl, _, err := RunTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl.Format()
+}
+
+func TestTable1EquivalenceAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet simulations")
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ref := table1Formatted(t, seed, 1, 0)
+			for _, workers := range []int{2, 8} {
+				if got := table1Formatted(t, seed, workers, 0); got != ref {
+					t.Errorf("workers=%d diverges from workers=1:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+						workers, ref, workers, got)
+				}
+			}
+			// Shuffled dispatch order must not matter either.
+			if got := table1Formatted(t, seed, 8, 12345); got != ref {
+				t.Errorf("shuffled dispatch diverges from serial order:\n%s\nvs\n%s", ref, got)
+			}
+		})
+	}
+}
+
+func TestAblationEquivalenceAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet simulations")
+	}
+	run := func(workers int, shuffle int64) string {
+		cfg := smokeFleetCfg()
+		cfg.Workers = workers
+		cfg.ShuffleShards = shuffle
+		tbl, err := RunAblationExploreStep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl.Format()
+	}
+	ref := run(1, 0)
+	if got := run(8, 0); got != ref {
+		t.Errorf("ablation sweep workers=8 diverges:\n%s\nvs\n%s", ref, got)
+	}
+	if got := run(8, 777); got != ref {
+		t.Errorf("ablation sweep shuffled dispatch diverges:\n%s\nvs\n%s", ref, got)
+	}
+}
+
+func TestFig12To14EquivalenceAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster emulations x8")
+	}
+	run := func(workers int) string {
+		cfg := smokeClusterCfg(SysBaseline)
+		cfg.Workers = workers
+		fig12, fig13, fig14, _, err := RunFig12To14(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig12.Format() + fig13.Format() + fig14.Format()
+	}
+	if a, b := run(1), run(8); a != b {
+		t.Errorf("cluster sweep diverges across worker counts:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestTable1RaceStress drives the parallel runner with far more workers
+// than shards and a shuffled dispatch order. Its assertions are mild; its
+// real job is giving the race detector (CI runs `go test -race ./...`)
+// maximal scheduling freedom over the shard pool, reducers and scratch
+// buffers.
+func TestTable1RaceStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet simulations")
+	}
+	ref := table1Formatted(t, 9, 1, 0)
+	for trial := 0; trial < 2; trial++ {
+		if got := table1Formatted(t, 9, 32, int64(1000+trial)); got != ref {
+			t.Fatalf("trial %d: oversubscribed shuffled run diverges", trial)
+		}
+	}
+}

@@ -3,22 +3,42 @@ package experiment
 import (
 	"fmt"
 
+	"smartoclock/internal/parallel"
 	"smartoclock/internal/workload"
 )
+
+// runClusterSweep executes one RunCluster per system concurrently (bounded
+// by base.Workers) and returns the results keyed by system. Each emulation
+// owns its entire world — servers, racks, rng — so the sweep parallelizes
+// without any cross-run coordination.
+func runClusterSweep(base ClusterConfig, systems []ClusterSystem) (map[ClusterSystem]*ClusterResult, error) {
+	type out struct {
+		res *ClusterResult
+		err error
+	}
+	outs := parallel.Map(len(systems), parallel.Options{Workers: base.Workers}, func(i int) out {
+		cfg := base
+		cfg.System = systems[i]
+		res, err := RunCluster(cfg)
+		return out{res, err}
+	})
+	results := make(map[ClusterSystem]*ClusterResult, len(systems))
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		results[systems[i]] = o.res
+	}
+	return results, nil
+}
 
 // RunFig12To14 executes the four cluster systems and assembles the three
 // result tables of §V-A: latency (Fig 12), cost (Fig 13) and energy
 // (Fig 14).
 func RunFig12To14(base ClusterConfig) (fig12, fig13, fig14 *Table, results map[ClusterSystem]*ClusterResult, err error) {
-	results = make(map[ClusterSystem]*ClusterResult)
-	for _, sys := range ClusterSystems() {
-		cfg := base
-		cfg.System = sys
-		res, err := RunCluster(cfg)
-		if err != nil {
-			return nil, nil, nil, nil, err
-		}
-		results[sys] = res
+	results, err = runClusterSweep(base, ClusterSystems())
+	if err != nil {
+		return nil, nil, nil, nil, err
 	}
 
 	fig12 = &Table{
@@ -69,16 +89,11 @@ func RunFig12To14(base ClusterConfig) (fig12, fig13, fig14 *Table, results map[C
 // NaiveOClock vs SmartOClock under a reduced rack limit, reporting
 // SocialNet tail latency, MLTrain throughput and capping events.
 func RunPowerConstrained(base ClusterConfig, limitScale float64) (*Table, map[ClusterSystem]*ClusterResult, error) {
-	results := make(map[ClusterSystem]*ClusterResult)
-	for _, sys := range []ClusterSystem{SysNaiveOClock, SysSmartOClock} {
-		cfg := base
-		cfg.System = sys
-		cfg.RackLimitScale = limitScale
-		res, err := RunCluster(cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		results[sys] = res
+	cfg := base
+	cfg.RackLimitScale = limitScale
+	results, err := runClusterSweep(cfg, []ClusterSystem{SysNaiveOClock, SysSmartOClock})
+	if err != nil {
+		return nil, nil, err
 	}
 	tbl := &Table{
 		Caption: fmt.Sprintf("Power-constrained (rack limit x%.2f): NaiveOClock vs SmartOClock", limitScale),
@@ -101,18 +116,30 @@ func RunOCConstrained(base ClusterConfig, initialBudget float64) (*Table, error)
 		Caption: "Overclocking-constrained: fraction of time with missed SLOs",
 		Headers: []string{"BudgetPct", "Reactive", "Proactive"},
 	}
-	for _, pct := range []float64{0.75, 0.50, 0.25} {
+	// The 3x2 (budget, corrective-policy) grid flattens into independent
+	// emulation shards; results are assembled back into rows in grid order.
+	pcts := []float64{0.75, 0.50, 0.25}
+	modes := []bool{false, true}
+	type out struct {
+		res *ClusterResult
+		err error
+	}
+	outs := parallel.Map(len(pcts)*len(modes), parallel.Options{Workers: base.Workers}, func(i int) out {
+		cfg := base
+		cfg.System = SysSmartOClock
+		cfg.OCBudgetScale = initialBudget * pcts[i/len(modes)]
+		cfg.Proactive = modes[i%len(modes)]
+		res, err := RunCluster(cfg)
+		return out{res, err}
+	})
+	for pi, pct := range pcts {
 		row := []any{fmt.Sprintf("%.0f%%", pct*100)}
-		for _, proactive := range []bool{false, true} {
-			cfg := base
-			cfg.System = SysSmartOClock
-			cfg.OCBudgetScale = initialBudget * pct
-			cfg.Proactive = proactive
-			res, err := RunCluster(cfg)
-			if err != nil {
-				return nil, err
+		for mi := range modes {
+			o := outs[pi*len(modes)+mi]
+			if o.err != nil {
+				return nil, o.err
 			}
-			row = append(row, fmt.Sprintf("%.1f%%", 100*res.MissedTickFrac))
+			row = append(row, fmt.Sprintf("%.1f%%", 100*o.res.MissedTickFrac))
 		}
 		tbl.AddRow(row...)
 	}

@@ -7,6 +7,7 @@ import (
 	"smartoclock/internal/baselines"
 	"smartoclock/internal/core"
 	"smartoclock/internal/lifetime"
+	"smartoclock/internal/parallel"
 	"smartoclock/internal/power"
 	"smartoclock/internal/predict"
 	"smartoclock/internal/timeseries"
@@ -39,6 +40,16 @@ type FleetSimConfig struct {
 	ExploreStepWatts float64
 	// WarnFraction overrides the rack warning threshold.
 	WarnFraction float64
+
+	// Workers bounds how many rack simulations run concurrently;
+	// <= 0 selects GOMAXPROCS. Results are bit-identical for every
+	// worker count: each rack shard is independent and per-shard results
+	// are reduced in shard-index order, never completion order.
+	Workers int
+	// ShuffleShards, when nonzero, dispatches rack shards in a seeded
+	// random order instead of ascending index order. Output must not
+	// change; the determinism and race tests set it to prove that.
+	ShuffleShards int64
 }
 
 // DefaultFleetSimConfig returns a configuration sized to finish in seconds
@@ -318,9 +329,38 @@ func templateFromPredictor(p predict.Predictor, train *timeseries.Series) *times
 	}
 }
 
+// rackMetrics is one rack's contribution to the Table I aggregates. Racks
+// are simulated concurrently, so each shard returns its own rackMetrics and
+// the caller folds them in shard-index order (see accumulate) — float sums
+// stay bit-identical for any worker count.
+type rackMetrics struct {
+	caps, requests, successes int
+	penaltySum                float64
+	penaltyN                  int
+	perfSum                   float64
+	perfN                     int
+}
+
+// accumulate folds other into m. Callers must invoke it in a fixed shard
+// order: float addition is not associative, and completion-order folding
+// would make results depend on scheduling.
+func (m *rackMetrics) accumulate(other rackMetrics) {
+	m.caps += other.caps
+	m.requests += other.requests
+	m.successes += other.successes
+	m.penaltySum += other.penaltySum
+	m.penaltyN += other.penaltyN
+	m.perfSum += other.perfSum
+	m.perfN += other.perfN
+}
+
 // rackRun simulates one rack under one system for the evaluation window
-// and returns its metric contributions.
-func rackRun(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConfig) (caps, requests, successes int, penaltySum float64, penaltyN int, perfSum float64, perfN int) {
+// and returns its metric contributions. It is a pure function of its
+// arguments — no shared state, no random draws — which is what makes the
+// rack the unit of parallel sharding.
+func rackRun(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConfig) rackMetrics {
+	var requests, successes, penaltyN, perfN int
+	var penaltySum, perfSum float64
 	evalStart := fleetStart.Add(time.Duration(cfg.TrainDays) * 24 * time.Hour)
 	ticks := cfg.EvalDays * int(24*time.Hour/cfg.Step)
 
@@ -497,56 +537,98 @@ func rackRun(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConfig) (cap
 			}
 		}
 	}
-	return rack.CapEvents(), requests, successes, penaltySum, penaltyN, perfSum, perfN
+	return rackMetrics{
+		caps: rack.CapEvents(), requests: requests, successes: successes,
+		penaltySum: penaltySum, penaltyN: penaltyN,
+		perfSum: perfSum, perfN: perfN,
+	}
+}
+
+// fleetOpts returns the parallel scheduling options for a fleet sim config.
+func fleetOpts(cfg FleetSimConfig) parallel.Options {
+	return parallel.Options{Workers: cfg.Workers, ShuffleSeed: cfg.ShuffleShards}
+}
+
+// table1Shard is one unit of parallel work in RunTable1: a single rack
+// simulated under a single system.
+type table1Shard struct {
+	class trace.ClusterClass
+	sys   baselines.System
+	rack  *trace.RackTrace
+	// cell indexes the (class, system) aggregate the shard contributes to.
+	cell int
 }
 
 // RunTable1 reproduces Table I: five systems across the three power
-// classes.
+// classes. Every (rack, system) pair is an independent shard fanned out
+// across cfg.Workers goroutines; shard results are folded in shard-index
+// order so the table is bit-identical to the serial sweep.
 func RunTable1(cfg FleetSimConfig) (*Table, []Table1Row, error) {
 	days := cfg.TrainDays + cfg.EvalDays
 	classes := []trace.ClusterClass{trace.HighPower, trace.MediumPower, trace.LowPower}
-	var rows []Table1Row
+	systems := baselines.All()
+
+	// Generate the per-class mini-fleets (each guarantees exact class
+	// coverage at any scale), then flatten every (class, system, rack)
+	// triple into the shard list.
+	var shards []table1Shard
+	racksPerClass := make([]int, len(classes))
 	for ci, class := range classes {
-		// One mini-fleet per class guarantees exact class coverage at any
-		// scale.
 		fcfg := trace.DefaultFleetConfig(fleetStart, time.Duration(days)*24*time.Hour)
 		fcfg.Seed = cfg.Seed + int64(ci)
 		fcfg.Regions = []string{"SimRegion"}
 		fcfg.RacksPerRegion = cfg.RacksPerClass
 		fcfg.Step = cfg.Step
 		fcfg.ClassMix = map[trace.ClusterClass]float64{class: 1}
+		fcfg.Workers = cfg.Workers
 		fleet, err := trace.GenFleet(fcfg)
 		if err != nil {
 			return nil, nil, err
 		}
 		racks := fleet.ByClass(class)
-		centralCaps := 0
-		classRows := make([]Table1Row, 0, len(baselines.All()))
-		for _, sys := range baselines.All() {
-			var caps, reqs, succ, penN, perfN int
-			var penSum, perfSum float64
+		racksPerClass[ci] = len(racks)
+		for si, sys := range systems {
 			for _, fr := range racks {
-				c, r, s, ps, pn, fs, fn := rackRun(fr.RackTrace, sys, cfg)
-				caps += c
-				reqs += r
-				succ += s
-				penSum += ps
-				penN += pn
-				perfSum += fs
-				perfN += fn
+				shards = append(shards, table1Shard{
+					class: class, sys: sys, rack: fr.RackTrace,
+					cell: ci*len(systems) + si,
+				})
 			}
-			row := Table1Row{System: sys, Class: class, CapEvents: caps, Requests: reqs, RacksTested: len(racks)}
-			if reqs > 0 {
-				row.SuccessPct = 100 * float64(succ) / float64(reqs)
+		}
+	}
+
+	// Fan out. Each shard is pure; results land in index-addressed slots.
+	results := parallel.Map(len(shards), fleetOpts(cfg), func(i int) rackMetrics {
+		return rackRun(shards[i].rack, shards[i].sys, cfg)
+	})
+
+	// Reduce in shard order: shards are grouped by cell, so this fold
+	// visits each cell's racks in generation order, exactly like the old
+	// serial loop.
+	cells := make([]rackMetrics, len(classes)*len(systems))
+	for i, m := range results {
+		cells[shards[i].cell].accumulate(m)
+	}
+
+	var rows []Table1Row
+	for ci, class := range classes {
+		centralCaps := 0
+		classRows := make([]Table1Row, 0, len(systems))
+		for si, sys := range systems {
+			agg := cells[ci*len(systems)+si]
+			row := Table1Row{System: sys, Class: class, CapEvents: agg.caps,
+				Requests: agg.requests, RacksTested: racksPerClass[ci]}
+			if agg.requests > 0 {
+				row.SuccessPct = 100 * float64(agg.successes) / float64(agg.requests)
 			}
-			if penN > 0 {
-				row.PenaltyPct = 100 * penSum / float64(penN)
+			if agg.penaltyN > 0 {
+				row.PenaltyPct = 100 * agg.penaltySum / float64(agg.penaltyN)
 			}
-			if perfN > 0 {
-				row.NormPerf = perfSum / float64(perfN)
+			if agg.perfN > 0 {
+				row.NormPerf = agg.perfSum / float64(agg.perfN)
 			}
 			if sys == baselines.Central {
-				centralCaps = caps
+				centralCaps = agg.caps
 			}
 			classRows = append(classRows, row)
 		}

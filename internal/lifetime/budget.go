@@ -165,6 +165,16 @@ func (b *Budget) TimeToExhaustion() time.Duration { return b.Remaining() }
 // the sOA looks for other cores with headroom (§IV-D).
 type CoreBudgets struct {
 	cores []*Budget
+	// candScratch backs FindCoresFiltered's candidate selection, which
+	// runs on every admission attempt; reuse keeps the request hot path
+	// from allocating a candidate list per call.
+	candScratch []coreCand
+}
+
+// coreCand is one eligible core during budget-aware core selection.
+type coreCand struct {
+	idx int
+	rem time.Duration
 }
 
 // NewCoreBudgets creates n per-core budgets that all start at start.
@@ -209,16 +219,13 @@ func (cb *CoreBudgets) FindCores(n int, need time.Duration) []int {
 // (nil accepts every core) — used to exclude cores whose online wear
 // counters report exhausted headroom.
 func (cb *CoreBudgets) FindCoresFiltered(n int, need time.Duration, ok func(core int) bool) []int {
-	type cand struct {
-		idx int
-		rem time.Duration
-	}
-	var cands []cand
+	cands := cb.candScratch[:0]
 	for i, b := range cb.cores {
 		if b.Remaining() >= need && (ok == nil || ok(i)) {
-			cands = append(cands, cand{i, b.Remaining()})
+			cands = append(cands, coreCand{i, b.Remaining()})
 		}
 	}
+	cb.candScratch = cands
 	if len(cands) < n {
 		return nil
 	}

@@ -1,0 +1,21 @@
+package lifetime
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFindCoresFilteredSteadyStateAllocs guards the admission hot path:
+// after the candidate scratch buffer warms up, the only allocation per
+// call is the returned core-index slice the caller keeps.
+func TestFindCoresFilteredSteadyStateAllocs(t *testing.T) {
+	start := time.Date(2023, 4, 10, 0, 0, 0, 0, time.UTC)
+	cb := NewCoreBudgets(DefaultBudgetConfig(), 32, start)
+	cb.FindCoresFiltered(4, time.Minute, nil) // warm the scratch buffer
+	allocs := testing.AllocsPerRun(100, func() {
+		cb.FindCoresFiltered(4, time.Minute, nil)
+	})
+	if allocs > 1 {
+		t.Fatalf("FindCoresFiltered allocates %.1f objects per call, want <=1 (the result slice)", allocs)
+	}
+}

@@ -1,0 +1,138 @@
+// Package parallel provides the deterministic fan-out machinery behind the
+// fleet-scale experiment runners: a bounded worker pool over an index space,
+// and splitmix64-style child-seed derivation so every shard owns an
+// independent random stream.
+//
+// Determinism contract: shard functions receive their shard index and write
+// results only into index-addressed slots; callers reduce those slots in
+// index order. Because no shard reads shared mutable state and the reduction
+// order is fixed, results are bit-identical for any worker count and any
+// dispatch order — which Run's shuffle option exists to prove under the race
+// detector.
+package parallel
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 select
+// GOMAXPROCS, everything else is returned unchanged.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator (Steele et al.,
+// "Fast Splittable Pseudorandom Number Generators"): a bijective avalanche
+// mix whose outputs at consecutive multiples of the golden gamma are
+// statistically independent.
+func splitmix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// goldenGamma is 2^64 / phi, the SplitMix64 stream increment.
+const goldenGamma = 0x9E3779B97F4A7C15
+
+// ChildSeed derives the seed of child stream `stream` from a root seed.
+// The derivation is position-based, not draw-based: child i's seed depends
+// only on (root, i), never on how much randomness other children consumed —
+// the property that makes per-shard generation independent of shard count
+// and execution order.
+func ChildSeed(root int64, stream uint64) int64 {
+	return int64(splitmix64(uint64(root) + (stream+1)*goldenGamma))
+}
+
+// Options tunes a Run/Map call.
+type Options struct {
+	// Workers is the maximum number of concurrent shard executions;
+	// <= 0 selects GOMAXPROCS.
+	Workers int
+	// ShuffleSeed, when nonzero, dispatches shards in a seeded random
+	// order instead of ascending index order. Results must not change —
+	// the determinism tests run shuffled on purpose.
+	ShuffleSeed int64
+}
+
+// Run executes fn(i) for every i in [0, n) across a bounded pool of
+// workers. It returns after all shards complete. A panic in any shard is
+// captured and re-raised on the calling goroutine once the pool has
+// drained, so tests see ordinary panics instead of a crashed runtime.
+func Run(n int, opts Options, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := Workers(opts.Workers)
+	if workers > n {
+		workers = n
+	}
+
+	// The dispatch order is the identity unless a shuffle is requested.
+	order := []int(nil)
+	if opts.ShuffleSeed != 0 {
+		order = rand.New(rand.NewSource(opts.ShuffleSeed)).Perm(n)
+	}
+
+	if workers == 1 && order == nil {
+		// Fast path: the serial sweep, with the same panic semantics.
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= n {
+					return
+				}
+				i := k
+				if order != nil {
+					i = order[k]
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicked == nil {
+								panicked = r
+							}
+							panicMu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(fmt.Sprintf("parallel: shard panic: %v", panicked))
+	}
+}
+
+// Map runs fn over [0, n) with Run's scheduling and collects the results
+// into an index-ordered slice: out[i] = fn(i) regardless of worker count
+// or dispatch order. Reduce out front-to-back for bit-identical folds.
+func Map[T any](n int, opts Options, fn func(i int) T) []T {
+	out := make([]T, n)
+	Run(n, opts, func(i int) { out[i] = fn(i) })
+	return out
+}

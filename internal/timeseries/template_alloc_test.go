@@ -1,0 +1,46 @@
+package timeseries
+
+import (
+	"testing"
+	"time"
+)
+
+// TestReduceMedianNoAllocs pins the in-place median: it may reorder its
+// input but must not copy it. Template fitting reduces one slice per
+// time-of-day slot per server, which made the previous copying version
+// the single largest allocation source in the fleet-simulation profile.
+func TestReduceMedianNoAllocs(t *testing.T) {
+	samples := make([]float64, 101)
+	for i := range samples {
+		samples[i] = float64((i * 7919) % 101)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		ReduceMedian(samples)
+	})
+	if allocs != 0 {
+		t.Fatalf("ReduceMedian allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestBuildDayTemplateAllocsBounded checks the two-pass slot partition:
+// the number of allocations must not scale with the sample count, only
+// with the (fixed) slot count — one backing array plus per-slot headers.
+func TestBuildDayTemplateAllocsBounded(t *testing.T) {
+	start := time.Date(2023, 4, 10, 0, 0, 0, 0, time.UTC) // a Monday
+	build := func(days int) float64 {
+		s := New(start, 5*time.Minute)
+		for i := 0; i < days*24*12; i++ {
+			s.Append(float64(i % 288))
+		}
+		return testing.AllocsPerRun(10, func() {
+			BuildDayTemplate(s, Weekdays, ReduceMedian)
+		})
+	}
+	small, large := build(7), build(28)
+	// 4x the samples must not mean 4x the allocations: the partition is a
+	// single backing array regardless of how many days feed each slot.
+	if large > small+8 {
+		t.Fatalf("BuildDayTemplate allocations scale with samples: %d-day=%.0f vs 7-day=%.0f",
+			28, large, small)
+	}
+}

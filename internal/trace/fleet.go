@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"smartoclock/internal/parallel"
 )
 
 // ClusterClass groups racks by their power headroom, matching Table I's
@@ -70,6 +72,11 @@ type FleetConfig struct {
 	// RackTemplate provides all remaining rack-level knobs; Name, Start,
 	// Step, Duration and TargetP99Util are overridden per rack.
 	RackTemplate RackGenConfig
+	// Workers bounds the number of racks generated concurrently;
+	// <= 0 selects GOMAXPROCS. Any value yields identical fleets: each
+	// rack's stream is derived from (Seed, rack index), never from how
+	// much randomness its siblings consumed.
+	Workers int
 }
 
 // DefaultFleetConfig returns a fleet sized for simulation experiments:
@@ -117,13 +124,18 @@ func (f *Fleet) ByRegion(region string) []*FleetRack {
 }
 
 // GenFleet generates a deterministic fleet of rack traces.
+//
+// Every rack owns an independent random stream seeded from (cfg.Seed,
+// global rack index) via parallel.ChildSeed, so rack i's trace — and its
+// class draw — is a pure function of the seed and its position: adding
+// racks, removing regions, or generating across any number of workers
+// never perturbs the racks that remain.
 func GenFleet(cfg FleetConfig) (*Fleet, error) {
 	if len(cfg.Regions) == 0 || cfg.RacksPerRegion <= 0 {
 		return nil, fmt.Errorf("trace: empty fleet config")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	// Build the class assignment sequence from the normalized mix.
+	// Normalize the class mix into cumulative weights.
 	classes := []ClusterClass{HighPower, MediumPower, LowPower}
 	var weights []float64
 	var totalW float64
@@ -140,31 +152,45 @@ func GenFleet(cfg FleetConfig) (*Fleet, error) {
 		totalW = 3
 	}
 
-	fleet := &Fleet{}
-	for _, region := range cfg.Regions {
-		for i := 0; i < cfg.RacksPerRegion; i++ {
-			// Deterministic class draw.
-			x := rng.Float64() * totalW
-			class := classes[len(classes)-1]
-			for k, w := range weights {
-				if x < w {
-					class = classes[k]
-					break
-				}
-				x -= w
+	type rackOut struct {
+		rack *FleetRack
+		err  error
+	}
+	n := len(cfg.Regions) * cfg.RacksPerRegion
+	outs := parallel.Map(n, parallel.Options{Workers: cfg.Workers}, func(idx int) rackOut {
+		region := cfg.Regions[idx/cfg.RacksPerRegion]
+		i := idx % cfg.RacksPerRegion
+		rng := rand.New(rand.NewSource(parallel.ChildSeed(cfg.Seed, uint64(idx))))
+
+		// Deterministic class draw from the rack's own stream.
+		x := rng.Float64() * totalW
+		class := classes[len(classes)-1]
+		for k, w := range weights {
+			if x < w {
+				class = classes[k]
+				break
 			}
-			rcfg := cfg.RackTemplate
-			rcfg.Name = fmt.Sprintf("%s-rack%03d", region, i)
-			rcfg.Start = cfg.Start
-			rcfg.Step = cfg.Step
-			rcfg.Duration = cfg.Duration
-			rcfg.TargetP99Util = class.TargetP99Util()
-			rack, err := GenRack(rcfg, rng)
-			if err != nil {
-				return nil, err
-			}
-			fleet.Racks = append(fleet.Racks, &FleetRack{RackTrace: rack, Region: region, Class: class})
+			x -= w
 		}
+		rcfg := cfg.RackTemplate
+		rcfg.Name = fmt.Sprintf("%s-rack%03d", region, i)
+		rcfg.Start = cfg.Start
+		rcfg.Step = cfg.Step
+		rcfg.Duration = cfg.Duration
+		rcfg.TargetP99Util = class.TargetP99Util()
+		rack, err := GenRack(rcfg, rng)
+		if err != nil {
+			return rackOut{err: err}
+		}
+		return rackOut{rack: &FleetRack{RackTrace: rack, Region: region, Class: class}}
+	})
+
+	fleet := &Fleet{Racks: make([]*FleetRack, 0, n)}
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		fleet.Racks = append(fleet.Racks, o.rack)
 	}
 	return fleet, nil
 }

@@ -436,3 +436,50 @@ func TestRackGenConfigValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestGenFleetRackStreamsIndependent proves the seed-derivation hygiene the
+// parallel runner depends on: rack i's trace is a pure function of (seed,
+// rack index), unaffected by how many sibling racks exist or how many
+// workers generate them.
+func TestGenFleetRackStreamsIndependent(t *testing.T) {
+	base := DefaultFleetConfig(genStart, 24*time.Hour)
+	base.Regions = []string{"R1"}
+	base.RackTemplate.Servers = 3
+
+	gen := func(racks, workers int) *Fleet {
+		cfg := base
+		cfg.RacksPerRegion = racks
+		cfg.Workers = workers
+		f, err := GenFleet(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+
+	small := gen(2, 1)
+	big := gen(5, 1)
+	wide := gen(5, 8)
+	for i, want := range small.Racks {
+		for fi, other := range []*Fleet{big, wide} {
+			got := other.Racks[i]
+			if got.Class != want.Class || got.Name != want.Name ||
+				got.LimitWatts != want.LimitWatts {
+				t.Fatalf("fleet %d rack %d header differs: %v/%v vs %v/%v",
+					fi, i, got.Class, got.LimitWatts, want.Class, want.LimitWatts)
+			}
+			for si, st := range want.Servers {
+				ost := got.Servers[si]
+				if len(ost.Power.Values) != len(st.Power.Values) {
+					t.Fatalf("fleet %d rack %d server %d length differs", fi, i, si)
+				}
+				for k := range st.Power.Values {
+					if ost.Power.Values[k] != st.Power.Values[k] ||
+						ost.Util.Values[k] != st.Util.Values[k] {
+						t.Fatalf("fleet %d rack %d server %d sample %d differs", fi, i, si, k)
+					}
+				}
+			}
+		}
+	}
+}
