@@ -239,6 +239,23 @@ func BenchmarkTable1Comparison(b *testing.B) {
 	}
 }
 
+// BenchmarkTable1Observed runs the same Table I workload with the metrics
+// registry and event tracer attached. Compare against
+// BenchmarkTable1Comparison: the acceptance bar for the observability
+// layer is under 5% wall-clock overhead, which the allocation-free handle
+// design keeps comfortably met.
+func BenchmarkTable1Observed(b *testing.B) {
+	var snapSeries int
+	for i := 0; i < b.N; i++ {
+		_, _, observation, err := experiment.RunTable1Observed(benchFleetCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		snapSeries = len(observation.Metrics.Series)
+	}
+	b.ReportMetric(float64(snapSeries), "series")
+}
+
 // BenchmarkTable1Workers measures the scaling trajectory of the parallel
 // fleet runner: the same Table I workload at 1/2/4/NumCPU workers. With
 // per-rack seed derivation the results are identical at every count, so

@@ -17,10 +17,50 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"smartoclock/internal/experiment"
 )
+
+// writeObservation writes the merged metrics snapshot and/or event trace of
+// an observed sweep. Metrics format: Prometheus text exposition by default,
+// JSON when the path ends in .json. Traces are JSON Lines.
+func writeObservation(metricsPath, tracePath string, o *experiment.FleetObservation) {
+	if o == nil {
+		return
+	}
+	if metricsPath != "" && o.Metrics != nil {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if strings.HasSuffix(metricsPath, ".json") {
+			err = o.Metrics.WriteJSON(f)
+		} else {
+			err = o.Metrics.WriteProm(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if tracePath != "" && o.Trace != nil {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = o.Trace.WriteJSONL(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -34,6 +74,8 @@ func main() {
 	runMain := flag.Bool("main", false, "run only Figs 12-14")
 	runPower := flag.Bool("powerconstrained", false, "run only the power-constrained comparison")
 	runOC := flag.Bool("occonstrained", false, "run only the overclocking-constrained comparison")
+	metricsOut := flag.String("metrics-out", "", "write the merged metrics snapshot of the Figs 12-14 sweep (or, if only -powerconstrained runs, that sweep) here; .json selects JSON, anything else Prometheus text")
+	traceOut := flag.String("trace-out", "", "write the merged structured event trace of the observed sweep here as JSON Lines")
 	flag.Parse()
 
 	all := !*runMain && !*runPower && !*runOC
@@ -42,25 +84,39 @@ func main() {
 	base.Warmup = time.Duration(*warmup) * time.Minute
 	base.Seed = *seed
 	base.Workers = *workers
+	base.Observe = *metricsOut != "" || *traceOut != ""
+	observed := false
 
 	if *runMain || all {
 		fmt.Fprintf(os.Stderr, "soccluster: emulating %v across 4 systems...\n", base.Duration)
-		fig12, fig13, fig14, _, err := experiment.RunFig12To14(base)
+		fig12, fig13, fig14, results, err := experiment.RunFig12To14(base)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(fig12.Format())
 		fmt.Println(fig13.Format())
 		fmt.Println(fig14.Format())
+		if base.Observe && !observed {
+			writeObservation(*metricsOut, *traceOut, experiment.MergeClusterObservations(experiment.ClusterSystems(), results))
+			observed = true
+		}
 	}
 	if *runPower || all {
-		tbl, _, err := experiment.RunPowerConstrained(base, *limitScale)
+		tbl, results, err := experiment.RunPowerConstrained(base, *limitScale)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(tbl.Format())
+		if base.Observe && !observed {
+			systems := []experiment.ClusterSystem{experiment.SysNaiveOClock, experiment.SysSmartOClock}
+			writeObservation(*metricsOut, *traceOut, experiment.MergeClusterObservations(systems, results))
+			observed = true
+		}
 	}
 	if *runOC || all {
+		// RunOCConstrained exposes no per-run results, so observing it
+		// would only slow the sweep down.
+		base.Observe = false
 		tbl, err := experiment.RunOCConstrained(base, 0.6)
 		if err != nil {
 			log.Fatal(err)

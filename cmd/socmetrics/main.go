@@ -1,0 +1,89 @@
+// Command socmetrics inspects and compares metrics snapshots written by
+// socsim/soccluster -metrics-out (JSON format). It is the offline analysis
+// half of the observability layer: run two experiments, snapshot both, and
+// diff them to see exactly which counters moved.
+//
+// Usage:
+//
+//	socmetrics show snapshot.json
+//	socmetrics diff [-all] before.json after.json
+//
+// show renders a snapshot as Prometheus text exposition. diff prints one
+// line per series whose value changed between the two snapshots (counters
+// and gauges compare values; histograms compare observation counts); -all
+// includes unchanged series too.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"smartoclock/internal/metrics"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  socmetrics show snapshot.json
+  socmetrics diff [-all] before.json after.json`)
+	os.Exit(2)
+}
+
+func readSnapshot(path string) *metrics.Snapshot {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := metrics.ReadSnapshot(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return snap
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("socmetrics: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+
+	switch os.Args[1] {
+	case "show":
+		fs := flag.NewFlagSet("show", flag.ExitOnError)
+		fs.Parse(os.Args[2:])
+		if fs.NArg() != 1 {
+			usage()
+		}
+		if err := readSnapshot(fs.Arg(0)).WriteProm(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+
+	case "diff":
+		fs := flag.NewFlagSet("diff", flag.ExitOnError)
+		all := fs.Bool("all", false, "include series with zero delta")
+		fs.Parse(os.Args[2:])
+		if fs.NArg() != 2 {
+			usage()
+		}
+		entries := metrics.Diff(readSnapshot(fs.Arg(0)), readSnapshot(fs.Arg(1)))
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "SERIES\tTYPE\tBEFORE\tAFTER\tDELTA")
+		shown := 0
+		for _, e := range entries {
+			if !*all && e.Delta == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%s%s\t%s\t%g\t%g\t%+g\n", e.Name, e.Labels, e.Type, e.Before, e.After, e.Delta)
+			shown++
+		}
+		w.Flush()
+		fmt.Fprintf(os.Stderr, "socmetrics: %d of %d series shown\n", shown, len(entries))
+
+	default:
+		usage()
+	}
+}

@@ -19,9 +19,48 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
 
 	"smartoclock/internal/experiment"
+	"smartoclock/internal/metrics"
+	"smartoclock/internal/obs"
 )
+
+// writeMetrics writes a snapshot to path: Prometheus text exposition by
+// default, JSON when the path ends in .json.
+func writeMetrics(path string, snap *metrics.Snapshot) {
+	if path == "" || snap == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		err = snap.WriteJSON(f)
+	} else {
+		err = snap.WriteProm(f)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// writeTrace writes the event trace to path as JSON Lines.
+func writeTrace(path string, tr *obs.Tracer) {
+	if path == "" || tr == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := tr.WriteJSONL(f); err != nil {
+		log.Fatal(err)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -37,7 +76,10 @@ func main() {
 	runFig15 := flag.Bool("fig15", false, "run only Fig 15")
 	runAblations := flag.Bool("ablations", false, "run only the design-choice ablations")
 	runChaos := flag.Bool("chaos", false, "run the fault-injection experiment (gOA outage, lossy control plane, sOA crashes)")
+	metricsOut := flag.String("metrics-out", "", "write the metrics snapshot of the Table I run (or -chaos run) here; .json selects JSON, anything else Prometheus text")
+	traceOut := flag.String("trace-out", "", "write the structured event trace of the Table I run (or -chaos run) here as JSON Lines")
 	flag.Parse()
+	observe := *metricsOut != "" || *traceOut != ""
 
 	if *runChaos {
 		cfg := experiment.DefaultChaosConfig()
@@ -49,6 +91,8 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(res.Format())
+		writeMetrics(*metricsOut, res.Metrics)
+		writeTrace(*traceOut, res.Trace)
 		if res.Err != nil {
 			log.Fatal(res.Err)
 		}
@@ -66,11 +110,21 @@ func main() {
 		cfg.Workers = *workers
 		fmt.Fprintf(os.Stderr, "socsim: simulating %d racks/class, %d train + %d eval days (%d workers)...\n",
 			cfg.RacksPerClass, cfg.TrainDays, cfg.EvalDays, *workers)
-		tbl, _, err := experiment.RunTable1(cfg)
-		if err != nil {
-			log.Fatal(err)
+		if observe {
+			tbl, _, observation, err := experiment.RunTable1Observed(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(tbl.Format())
+			writeMetrics(*metricsOut, observation.Metrics)
+			writeTrace(*traceOut, observation.Trace)
+		} else {
+			tbl, _, err := experiment.RunTable1(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(tbl.Format())
 		}
-		fmt.Println(tbl.Format())
 	}
 	if *runFig15 || all {
 		tbl, err := experiment.Fig15(*fig15Racks, *seed)

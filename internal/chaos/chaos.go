@@ -19,6 +19,8 @@ import (
 	"time"
 
 	"smartoclock/internal/agent"
+	"smartoclock/internal/metrics"
+	"smartoclock/internal/obs"
 	"smartoclock/internal/sim"
 )
 
@@ -112,6 +114,45 @@ type Transport struct {
 	inner agent.Transport
 	down  map[string]bool // crashed agents (Crash/Restart)
 	stats Stats
+
+	// obs, when non-nil, mirrors Stats into the metrics registry and traces
+	// process faults (see Instrument).
+	obs *transportObs
+}
+
+// transportObs holds the transport's resolved instruments.
+type transportObs struct {
+	tracer     *obs.Tracer
+	sent       *metrics.Counter
+	delivered  *metrics.Counter
+	dropped    *metrics.Counter
+	outage     *metrics.Counter
+	duplicated *metrics.Counter
+	delayed    *metrics.Counter
+	crashes    *metrics.Counter
+	restarts   *metrics.Counter
+}
+
+// Instrument attaches the transport to a registry and tracer. Message-level
+// faults become counters (they are too frequent to trace); process faults
+// (crash/restart) are counted and traced.
+func (t *Transport) Instrument(reg *metrics.Registry, tr *obs.Tracer, labels ...metrics.Label) {
+	withFault := func(fault string) []metrics.Label {
+		out := make([]metrics.Label, 0, len(labels)+1)
+		out = append(out, labels...)
+		return append(out, metrics.L("fault", fault))
+	}
+	t.obs = &transportObs{
+		tracer:     tr,
+		sent:       reg.Counter("chaos_messages_sent_total", labels...),
+		delivered:  reg.Counter("chaos_messages_delivered_total", labels...),
+		dropped:    reg.Counter("chaos_messages_faulted_total", withFault("drop")...),
+		outage:     reg.Counter("chaos_messages_faulted_total", withFault("outage")...),
+		duplicated: reg.Counter("chaos_messages_faulted_total", withFault("duplicate")...),
+		delayed:    reg.Counter("chaos_messages_faulted_total", withFault("delay")...),
+		crashes:    reg.Counter("chaos_crashes_total", labels...),
+		restarts:   reg.Counter("chaos_restarts_total", labels...),
+	}
 }
 
 // NewTransport wraps inner with fault injection scheduled on eng.
@@ -135,10 +176,26 @@ func (t *Transport) Stats() Stats { return t.stats }
 // Crash marks an agent as down: messages to or from it are dropped until
 // Restart. The caller is responsible for discarding the agent's in-memory
 // state — that's the point of the fault.
-func (t *Transport) Crash(name string) { t.down[name] = true }
+func (t *Transport) Crash(name string) {
+	t.down[name] = true
+	if t.obs != nil {
+		t.obs.crashes.Inc()
+		t.obs.tracer.Emit(obs.Event{
+			Time: t.eng.Now(), Component: obs.Chaos, Kind: "crash", Target: name,
+		})
+	}
+}
 
 // Restart marks a crashed agent as reachable again.
-func (t *Transport) Restart(name string) { delete(t.down, name) }
+func (t *Transport) Restart(name string) {
+	delete(t.down, name)
+	if t.obs != nil {
+		t.obs.restarts.Inc()
+		t.obs.tracer.Emit(obs.Event{
+			Time: t.eng.Now(), Component: obs.Chaos, Kind: "restart", Target: name,
+		})
+	}
+}
 
 // Down reports whether name is currently crashed or inside an outage
 // window at the engine's current time.
@@ -166,38 +223,62 @@ func (t *Transport) Close() error { return t.inner.Close() }
 // faults — real networks drop silently.
 func (t *Transport) Send(msg agent.Message) error {
 	t.stats.Sent++
+	if t.obs != nil {
+		t.obs.sent.Inc()
+	}
 	if t.Down(msg.From) || t.Down(msg.To) {
-		t.stats.Outage++
+		t.countOutage()
 		return nil
 	}
 	if t.cfg.DropProb > 0 && t.rng.Float64() < t.cfg.DropProb {
 		t.stats.Dropped++
+		if t.obs != nil {
+			t.obs.dropped.Inc()
+		}
 		return nil
 	}
 	copies := 1
 	if t.cfg.DupProb > 0 && t.rng.Float64() < t.cfg.DupProb {
 		copies = 2
 		t.stats.Duplicated++
+		if t.obs != nil {
+			t.obs.duplicated.Inc()
+		}
 	}
 	for i := 0; i < copies; i++ {
 		delay := t.cfg.BaseDelay
 		if t.cfg.DelayProb > 0 && t.rng.Float64() < t.cfg.DelayProb {
 			delay += time.Duration(1 + t.rng.Int63n(int64(t.cfg.MaxDelay)))
 			t.stats.Delayed++
+			if t.obs != nil {
+				t.obs.delayed.Inc()
+			}
 		}
 		m := msg
 		t.eng.After(delay, func() {
 			// An endpoint that went down after the send still loses the
 			// in-flight message (it had nobody to receive it).
 			if t.Down(m.To) {
-				t.stats.Outage++
+				t.countOutage()
 				return
 			}
 			t.stats.Delivered++
+			if t.obs != nil {
+				t.obs.delivered.Inc()
+			}
 			_ = t.inner.Send(m) // unknown recipient: crashed and deregistered
 		})
 	}
 	return nil
+}
+
+// countOutage tallies a message lost to an outage window or crashed
+// endpoint in both the Stats struct and the registry.
+func (t *Transport) countOutage() {
+	t.stats.Outage++
+	if t.obs != nil {
+		t.obs.outage.Inc()
+	}
 }
 
 // Plan is a schedule of crash/restart faults for named agents, derived

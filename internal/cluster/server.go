@@ -12,6 +12,7 @@ import (
 
 	"smartoclock/internal/lifetime"
 	"smartoclock/internal/machine"
+	"smartoclock/internal/metrics"
 )
 
 // Server is one emulated server.
@@ -23,6 +24,10 @@ type Server struct {
 	capPriority int
 	aging       lifetime.AgingModel
 	wear        []*lifetime.Wear
+
+	// agedSecs, when non-nil, mirrors MeanAgedSeconds into the metrics
+	// registry on every Advance (see Instrument).
+	agedSecs *metrics.Gauge
 }
 
 // NewServer creates a server named name from the hardware config with the
@@ -151,6 +156,20 @@ func (s *Server) Advance(dt time.Duration) {
 		vr := cfg.VoltageRatio(s.m.Freq(i))
 		s.wear[i].Add(dt, s.m.Util(i), vr)
 	}
+	if s.agedSecs != nil {
+		s.agedSecs.Set(s.MeanAgedSeconds())
+	}
+}
+
+// Instrument attaches the server's hardware counters (the underlying
+// machine's PMT-like gauges plus mean silicon aging) to a registry under a
+// server label.
+func (s *Server) Instrument(reg *metrics.Registry, labels ...metrics.Label) {
+	ls := make([]metrics.Label, 0, len(labels)+1)
+	ls = append(ls, labels...)
+	ls = append(ls, metrics.L("server", s.name))
+	s.m.Instrument(reg, ls...)
+	s.agedSecs = reg.Gauge("server_mean_aged_seconds", ls...)
 }
 
 // Energy returns cumulative energy in joules.

@@ -28,6 +28,10 @@ type GOA struct {
 	rack     string
 	limit    float64
 	profiles map[string]ServerProfile
+
+	// obs, when non-nil, holds resolved metric handles (see Instrument in
+	// obs.go).
+	obs *goaObs
 }
 
 // NewGOA creates a gOA for the named rack with the given power limit.
@@ -111,16 +115,20 @@ func (g *GOA) BudgetsAt(ts time.Time) map[string]float64 {
 				budgets[name] = g.limit / float64(len(names))
 			}
 		}
+		g.obsBudgets(g.limit)
 		return budgets
 	}
 	headroom := g.limit - sumRegular
+	sum := 0.0
 	for _, name := range names {
 		extra := headroom / float64(len(names))
 		if sumNeed > 0 {
 			extra = headroom * need[name] / sumNeed
 		}
 		budgets[name] = regular[name] + extra
+		sum += budgets[name]
 	}
+	g.obsBudgets(sum)
 	return budgets
 }
 

@@ -160,6 +160,10 @@ type SOA struct {
 	granted  int
 	rejected int
 
+	// obs, when non-nil, holds pre-resolved metric handles and the event
+	// tracer (see Instrument in obs.go). Hot paths test the pointer once.
+	obs *soaObs
+
 	// sessScratch backs sortedSessions: the ordering is recomputed inside
 	// every feedback tick, and reusing the slice keeps the per-tick hot
 	// path allocation-free.
@@ -265,13 +269,16 @@ func (a *SOA) currentOCDelta() float64 {
 // granted: lifetime budget first, then predicted power against the
 // assigned budget.
 func (a *SOA) Request(now time.Time, req Request) Decision {
+	a.obsRequest()
 	if err := req.Validate(); err != nil {
 		a.rejected++
+		a.obsReject(now, req.VM, RejectInvalid)
 		return Decision{Reason: RejectInvalid}
 	}
 	a.slotRequested += req.Cores
 	if _, exists := a.sessions[req.VM]; exists {
 		a.rejected++
+		a.obsReject(now, req.VM, RejectDuplicate)
 		return Decision{Reason: RejectDuplicate}
 	}
 	target := req.TargetMHz
@@ -311,6 +318,7 @@ func (a *SOA) Request(now time.Time, req Request) Decision {
 	}
 	if cores == nil {
 		a.rejected++
+		a.obsReject(now, req.VM, RejectLifetime)
 		a.notifyReject(req.VM, RejectLifetime)
 		return Decision{Reason: RejectLifetime}
 	}
@@ -321,6 +329,7 @@ func (a *SOA) Request(now time.Time, req Request) Decision {
 	if a.cfg.AdmitOverride != nil {
 		if !a.cfg.AdmitOverride(req, delta) {
 			a.rejected++
+			a.obsReject(now, req.VM, RejectPower)
 			a.notifyReject(req.VM, RejectPower)
 			return Decision{Reason: RejectPower}
 		}
@@ -330,6 +339,7 @@ func (a *SOA) Request(now time.Time, req Request) Decision {
 			a.rejected++
 			a.recentRejectAt = now
 			a.hasRecentReject = true
+			a.obsReject(now, req.VM, RejectPower)
 			a.notifyReject(req.VM, RejectPower)
 			return Decision{Reason: RejectPower}
 		}
@@ -348,6 +358,7 @@ func (a *SOA) Request(now time.Time, req Request) Decision {
 					a.budgets.Core(cc).ReleaseReservation(req.Duration)
 				}
 				a.rejected++
+				a.obsReject(now, req.VM, RejectLifetime)
 				a.notifyReject(req.VM, RejectLifetime)
 				return Decision{Reason: RejectLifetime}
 			}
@@ -379,6 +390,7 @@ func (a *SOA) start(now time.Time, req Request, target int, cores []int) Decisio
 		a.host.SetDesiredFreq(c, target)
 	}
 	a.granted++
+	a.obsGrant(len(cores))
 	return Decision{Granted: true, Cores: cores}
 }
 
@@ -424,6 +436,7 @@ func (a *SOA) OnRackEvent(now time.Time, ev power.Event) {
 		if a.backoff > a.cfg.MaxBackoff {
 			a.backoff = a.cfg.MaxBackoff
 		}
+		a.obsWarnBackoff(now)
 		// Shed immediately: the whole point of the warning is avoiding
 		// the capping event that would otherwise follow within seconds.
 		a.feedbackLoop(now)
@@ -438,6 +451,7 @@ func (a *SOA) OnRackEvent(now time.Time, ev power.Event) {
 		if a.backoff > a.cfg.MaxBackoff {
 			a.backoff = a.cfg.MaxBackoff
 		}
+		a.obsCapReset(now)
 		a.feedbackLoop(now)
 	}
 }
@@ -499,6 +513,7 @@ func (a *SOA) Tick(now time.Time) {
 	if !a.cfg.Naive {
 		a.checkExhaustion(now)
 	}
+	a.obsTick(now)
 }
 
 // consumeOCTime charges each overclocked core's epoch budget and stops
@@ -542,6 +557,7 @@ func (a *SOA) consumeOCTime(now time.Time, dt time.Duration) {
 			continue
 		}
 		a.Stop(now, vm)
+		a.obsSessionExhausted(now, vm)
 		a.notifyReject(vm, RejectLifetime)
 	}
 }
@@ -637,17 +653,20 @@ func (a *SOA) manageExploration(now time.Time) {
 		a.mode = modeExploring
 		a.extraWatts += a.cfg.ExploreStepWatts
 		a.lastBumpAt = now
+		a.obsExploreBump(now)
 	case modeExploring:
 		if !a.constrained() {
 			// Everything reached target: the budget is safe — exploit it.
 			a.mode = modeExploiting
 			a.exploitUntil = now.Add(a.cfg.ExploitTime)
 			a.backoff = a.cfg.InitialBackoff
+			a.obsExploit(now)
 			return
 		}
 		if now.Sub(a.lastBumpAt) >= a.cfg.ExploreConfirm {
 			a.extraWatts += a.cfg.ExploreStepWatts
 			a.lastBumpAt = now
+			a.obsExploreBump(now)
 		}
 	case modeExploiting:
 		if now.After(a.exploitUntil) {
@@ -739,6 +758,7 @@ func (a *SOA) signalExhaustion(now time.Time, kind ExhaustionKind, at time.Time)
 		return
 	}
 	a.lastExhaustSignal[kind] = now
+	a.obsExhaustionSignal(now, kind, at)
 	a.OnExhaustionSoon(kind, at)
 }
 

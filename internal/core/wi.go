@@ -204,6 +204,10 @@ type GlobalWI struct {
 	// Stats.
 	scaleOuts int
 	scaleIns  int
+
+	// obs, when non-nil, holds resolved metric handles (see Instrument in
+	// obs.go).
+	obs *wiObs
 }
 
 // NewGlobalWI creates a global WI agent for a service with the given SLO.
@@ -250,6 +254,7 @@ func (w *GlobalWI) ReportRejection(instance string, reason RejectReason) {
 	w.rejectHold[instance] = w.lastScaleAt // placeholder; stamped in Decide
 	w.rejectPending = append(w.rejectPending, instance)
 	w.rejections++
+	w.obsRejection()
 	w.rejectsSinceAction++
 	threshold := w.Scale.RejectThreshold
 	if threshold < 1 {
@@ -405,6 +410,7 @@ func (w *GlobalWI) Decide(now time.Time) Directive {
 			w.lastOCStartAt = now
 			w.hasOCStarted = true
 			w.ocStartAt[name] = now
+			w.obsOCEngage()
 		}
 		if !want {
 			delete(w.ocStartAt, name)
@@ -421,6 +427,7 @@ func (w *GlobalWI) Decide(now time.Time) Directive {
 			w.desired = w.Scale.MaxInstances
 		}
 		w.scaleOuts++
+		w.obsScale(now, "scale-out", "corrective", w.desired)
 		w.lastScaleAt = now
 		w.hasScaled = true
 		w.pendingCorrect = false
@@ -438,12 +445,14 @@ func (w *GlobalWI) Decide(now time.Time) Directive {
 			w.desired = w.Scale.MaxInstances
 		}
 		w.scaleOuts++
+		w.obsScale(now, "scale-out", "metric", w.desired)
 		w.lastScaleAt = now
 		w.hasScaled = true
 	case w.Scale.ScaleInFrac > 0 && p99 > 0 && p99 <= w.Scale.ScaleInFrac*w.SLOms &&
 		!w.anyOCActive() && !ocUnavailable && canAct && w.desired > w.Scale.MinInstances:
 		w.desired--
 		w.scaleIns++
+		w.obsScale(now, "scale-in", "idle", w.desired)
 		w.lastScaleAt = now
 		w.hasScaled = true
 	default:
@@ -457,6 +466,7 @@ func (w *GlobalWI) Decide(now time.Time) Directive {
 	for name, v := range w.ocActive {
 		oc[name] = v
 	}
+	w.obsDecide(w.desired)
 	return Directive{Overclock: oc, Instances: w.desired}
 }
 

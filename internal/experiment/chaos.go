@@ -12,6 +12,8 @@ import (
 	"smartoclock/internal/invariant"
 	"smartoclock/internal/lifetime"
 	"smartoclock/internal/machine"
+	"smartoclock/internal/metrics"
+	"smartoclock/internal/obs"
 	"smartoclock/internal/power"
 	"smartoclock/internal/predict"
 	"smartoclock/internal/sim"
@@ -164,6 +166,11 @@ type ChaosResult struct {
 	// Err is non-nil when invariants were violated, naming every recorded
 	// violation with its tick, rack and invariant.
 	Err error
+	// Metrics and Trace are the run's observability output: chaos runs are
+	// single-shard, so the snapshot is the one registry frozen at the end
+	// and the trace is already in emission order.
+	Metrics *metrics.Snapshot
+	Trace   *obs.Tracer
 }
 
 // chaosServer bundles one server's durable and volatile control state.
@@ -208,6 +215,13 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		BaseDelay: cfg.BaseDelay,
 		Outages:   outages,
 	}, eng, agent.NewBus())
+
+	// Chaos runs are always observed: a single shard on the real
+	// discrete-event engine, so telemetry costs nothing measurable and the
+	// trace documents the fault story tick by tick.
+	reg := metrics.NewRegistry()
+	tracer := obs.New()
+	tr.Instrument(reg, tracer)
 
 	// --- Servers and workload ---------------------------------------------
 	// Each server hosts one latency-critical VM spanning half its cores;
@@ -264,9 +278,14 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	fullOC := float64(cfg.Servers) * servers[0].srv.OCDeltaWatts(len(vmCores), maxOC, 0.9)
 	limit := cfg.RackLimitScale * (est + 0.5*fullOC)
 	rack := power.NewRack(power.DefaultRackConfig("rack-chaos", limit), members...)
+	rack.Instrument(reg, tracer)
+	for _, cs := range servers {
+		cs.srv.Instrument(reg)
+	}
 
 	// --- gOA ---------------------------------------------------------------
 	goa := core.NewGOA("rack-chaos", limit)
+	goa.Instrument(reg, tracer)
 	evenShare := limit / float64(cfg.Servers)
 
 	// --- sOAs: volatile agents over durable budgets ------------------------
@@ -283,6 +302,9 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	res := &ChaosResult{}
 	bootSOA := func(cs *chaosServer, now time.Time) {
 		cs.soa = core.NewSOA(soaCfg, cs.srv, cs.budgets, evenShare, now)
+		// Rebooted agents resolve the same series (registry identity is
+		// name+labels), so counters accumulate across crash/restart cycles.
+		cs.soa.Instrument(reg, tracer)
 		cs.hasBudget = false
 		tr.Register(cs.agentID, func(m agent.Message) {
 			if cs.soa == nil {
@@ -381,6 +403,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 
 	// --- Invariants --------------------------------------------------------
 	checker := invariant.NewChecker()
+	checker.Instrument(reg, tracer)
 	invariant.RackPowerWithinLimit(checker, rack, cfg.EnforcementGrace)
 	invariant.BudgetConservation(checker, goa, 1e-3)
 	for _, cs := range servers {
@@ -428,6 +451,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 			if !ok || b <= 0 {
 				continue
 			}
+			goa.TraceBroadcast(now, cs.srv.Name(), b)
 			if msg, err := agent.NewMessage("goa.budget", "goa", cs.agentID, budgetMsg{Watts: b}); err == nil {
 				_ = tr.Send(msg)
 			}
@@ -486,6 +510,8 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	res.InvariantChecks = checker.Checks()
 	res.Violations = checker.Violations()
 	res.Err = checker.Err()
+	res.Metrics = reg.Snapshot()
+	res.Trace = tracer
 	return res, nil
 }
 

@@ -10,6 +10,8 @@ import (
 	"smartoclock/internal/core"
 	"smartoclock/internal/lifetime"
 	"smartoclock/internal/machine"
+	"smartoclock/internal/metrics"
+	"smartoclock/internal/obs"
 	"smartoclock/internal/power"
 	"smartoclock/internal/predict"
 	"smartoclock/internal/stats"
@@ -95,6 +97,11 @@ type ClusterConfig struct {
 	// so the system sweep is the sharding unit. Results are identical for
 	// any worker count: each run owns its own rng seeded from cfg.Seed.
 	Workers int
+
+	// Observe attaches a metrics registry and event tracer to the run and
+	// returns the frozen snapshot and trace in ClusterResult. Every run
+	// carries a system label so sweep results merge without collisions.
+	Observe bool
 }
 
 // DefaultClusterConfig mirrors the paper's testbed: 36 overclockable
@@ -208,6 +215,9 @@ type ClusterResult struct {
 	// MissedTickFrac is the fraction of measured ticks with at least one
 	// SLO violation anywhere.
 	MissedTickFrac float64
+	// Metrics and Trace are set when ClusterConfig.Observe is true.
+	Metrics *metrics.Snapshot
+	Trace   *obs.Tracer
 }
 
 // RunCluster executes the 36-server emulation for one system.
@@ -221,6 +231,17 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	services := workload.SocialNet()
 	coresPerReplica := cfg.CoresPerService * len(services)
 
+	// Observability: one registry and tracer per run; every series carries
+	// the system label so sweep snapshots merge without identity collisions.
+	var reg *metrics.Registry
+	var tracer *obs.Tracer
+	var sysLabels []metrics.Label
+	if cfg.Observe {
+		reg = metrics.NewRegistry()
+		tracer = obs.New()
+		sysLabels = []metrics.Label{metrics.L("system", cfg.System.String())}
+	}
+
 	// --- Servers -----------------------------------------------------------
 	var mlServers, snServers, spares []*cluster.Server
 	for i := 0; i < cfg.MLServers; i++ {
@@ -231,6 +252,11 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	}
 	for i := 0; i < cfg.SpareServers; i++ {
 		spares = append(spares, cluster.NewServer(fmt.Sprintf("sp-%02d", i), cfg.HW, 0))
+	}
+	if reg != nil {
+		for _, s := range append(append(append([]*cluster.Server{}, snServers...), mlServers...), spares...) {
+			s.Instrument(reg, sysLabels...)
+		}
 	}
 
 	mls := make([]*workload.MLTrain, len(mlServers))
@@ -350,6 +376,9 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 			sc.Proactive = cfg.Proactive
 			// The WI agent works on SLO-normalized latency: SLO = 1.
 			app.wi = core.NewGlobalWI(1, &mp, nil, sc)
+			if reg != nil {
+				app.wi.Instrument(reg, tracer, fmt.Sprintf("app%02d", app.id), sysLabels...)
+			}
 		}
 		apps = append(apps, app)
 	}
@@ -380,6 +409,9 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	// RackLimitScale < 1 does exactly that.
 	mainLimit := cfg.RackLimitScale * est * 1.25
 	mainRack := power.NewRack(power.DefaultRackConfig("rack-main", mainLimit), mainServers...)
+	if reg != nil {
+		mainRack.Instrument(reg, tracer, sysLabels...)
+	}
 
 	var spareRack *power.Rack
 	if len(spares) > 0 {
@@ -389,6 +421,9 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 		}
 		limit := float64(len(spares)) * cluster.NewServer("est", cfg.HW, 0).Machine().MaxPower(maxOC) * 1.05
 		spareRack = power.NewRack(power.DefaultRackConfig("rack-spare", limit), spareServers...)
+		if reg != nil {
+			spareRack.Instrument(reg, tracer, sysLabels...)
+		}
 	}
 
 	// --- SmartOClock control plane ------------------------------------------------
@@ -416,6 +451,9 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 		mkSOA := func(s *cluster.Server, even float64) {
 			budgets := lifetime.NewCoreBudgets(bcfg, s.NumCores(), cfg.Start)
 			a := core.NewSOA(soaCfg, s, budgets, even, cfg.Start)
+			if reg != nil {
+				a.Instrument(reg, tracer, sysLabels...)
+			}
 			a.OnReject = func(vm string, reason core.RejectReason) {
 				if app, ok := appByReplica[vm]; ok && app.wi != nil {
 					app.wi.ReportRejection(vm, reason)
@@ -714,6 +752,10 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 			total += float64(app.sloMisses) / float64(measuredTicks)
 		}
 		res.MissedTickFrac = total / float64(len(apps))
+	}
+	if reg != nil {
+		res.Metrics = reg.Snapshot()
+		res.Trace = tracer
 	}
 	return res, nil
 }

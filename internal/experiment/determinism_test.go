@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -87,6 +88,84 @@ func TestFig12To14EquivalenceAcrossWorkers(t *testing.T) {
 	}
 	if a, b := run(1), run(8); a != b {
 		t.Errorf("cluster sweep diverges across worker counts:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// table1Observed runs the observed Table I at smoke scale and renders the
+// full telemetry output — Prometheus exposition plus the JSONL trace — so
+// the comparison covers every series value, bucket count and event byte.
+func table1Observed(t *testing.T, seed int64, workers int, shuffle int64) string {
+	t.Helper()
+	cfg := smokeFleetCfg()
+	cfg.Seed = seed
+	cfg.Workers = workers
+	cfg.ShuffleShards = shuffle
+	_, _, observation, err := RunTable1Observed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observation == nil || observation.Metrics == nil {
+		t.Fatal("observed run returned no telemetry")
+	}
+	var b strings.Builder
+	if err := observation.Metrics.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString("--- trace ---\n")
+	if err := observation.Trace.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestObservedTelemetryEquivalenceAcrossWorkers extends the worker-count
+// contract to the observability layer: the merged metrics snapshot and the
+// concatenated trace must be byte-identical whether the fleet ran serially,
+// across 8 workers, or with shuffled shard dispatch. This is what makes
+// -metrics-out/-trace-out artifacts comparable across machines.
+func TestObservedTelemetryEquivalenceAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet simulations")
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ref := table1Observed(t, seed, 1, 0)
+			if !strings.Contains(ref, "soa_requests_total") {
+				t.Fatalf("telemetry missing expected series:\n%.2000s", ref)
+			}
+			for _, workers := range []int{2, 8} {
+				if got := table1Observed(t, seed, workers, 0); got != ref {
+					t.Errorf("telemetry at workers=%d diverges from workers=1 (len %d vs %d)",
+						workers, len(got), len(ref))
+				}
+			}
+			if got := table1Observed(t, seed, 8, 54321); got != ref {
+				t.Error("telemetry with shuffled dispatch diverges from serial order")
+			}
+		})
+	}
+}
+
+// TestObservedTable1MatchesUnobserved pins the observer effect at zero:
+// attaching the metrics registry and tracer must not change a single byte
+// of the experiment's scientific output.
+func TestObservedTable1MatchesUnobserved(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet simulations")
+	}
+	cfg := smokeFleetCfg()
+	plain, _, err := RunTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, _, _, err := RunTable1Observed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Format() != observed.Format() {
+		t.Errorf("observation changed experiment results:\n--- plain ---\n%s\n--- observed ---\n%s",
+			plain.Format(), observed.Format())
 	}
 }
 

@@ -3,9 +3,32 @@ package experiment
 import (
 	"fmt"
 
+	"smartoclock/internal/metrics"
+	"smartoclock/internal/obs"
 	"smartoclock/internal/parallel"
 	"smartoclock/internal/workload"
 )
+
+// MergeClusterObservations folds the per-system observations of a sweep
+// into one snapshot and one trace, in the given system order — the same
+// fixed fold order that keeps the fleet sweep deterministic. Runs without
+// observability (Observe false) are skipped.
+func MergeClusterObservations(systems []ClusterSystem, results map[ClusterSystem]*ClusterResult) *FleetObservation {
+	snaps := make([]*metrics.Snapshot, 0, len(systems))
+	tracers := make([]*obs.Tracer, 0, len(systems))
+	for _, sys := range systems {
+		r := results[sys]
+		if r == nil || r.Metrics == nil {
+			continue
+		}
+		snaps = append(snaps, r.Metrics)
+		tracers = append(tracers, r.Trace)
+	}
+	if len(snaps) == 0 {
+		return nil
+	}
+	return &FleetObservation{Metrics: metrics.Merge(snaps...), Trace: obs.Concat(tracers...)}
+}
 
 // runClusterSweep executes one RunCluster per system concurrently (bounded
 // by base.Workers) and returns the results keyed by system. Each emulation

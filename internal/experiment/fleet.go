@@ -7,6 +7,8 @@ import (
 	"smartoclock/internal/baselines"
 	"smartoclock/internal/core"
 	"smartoclock/internal/lifetime"
+	"smartoclock/internal/metrics"
+	"smartoclock/internal/obs"
 	"smartoclock/internal/parallel"
 	"smartoclock/internal/power"
 	"smartoclock/internal/predict"
@@ -50,6 +52,13 @@ type FleetSimConfig struct {
 	// random order instead of ascending index order. Output must not
 	// change; the determinism and race tests set it to prove that.
 	ShuffleShards int64
+
+	// Observe enables the observability layer: every shard runs with its
+	// own metrics registry and event tracer, merged in shard-index order so
+	// the combined snapshot and trace are byte-identical for any worker
+	// count. Off by default — the uninstrumented hot path pays only nil
+	// checks.
+	Observe bool
 }
 
 // DefaultFleetSimConfig returns a configuration sized to finish in seconds
@@ -354,13 +363,43 @@ func (m *rackMetrics) accumulate(other rackMetrics) {
 	m.perfN += other.perfN
 }
 
+// FleetObservation bundles the telemetry of an observed fleet run: the
+// merged metrics snapshot and the concatenated event trace, both
+// byte-deterministic for a given seed regardless of worker count.
+type FleetObservation struct {
+	Metrics *metrics.Snapshot
+	Trace   *obs.Tracer
+}
+
 // rackRun simulates one rack under one system for the evaluation window
 // and returns its metric contributions. It is a pure function of its
 // arguments — no shared state, no random draws — which is what makes the
 // rack the unit of parallel sharding.
 func rackRun(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConfig) rackMetrics {
+	m, _, _ := rackRunObserved(rt, sys, cfg, "")
+	return m
+}
+
+// rackRunObserved is rackRun plus per-shard telemetry: when cfg.Observe is
+// set the rack, gOA and every sOA are instrumented against a shard-local
+// registry and tracer (single-goroutine, like the shard itself) whose
+// snapshot the caller merges in shard-index order. class labels the shard's
+// cluster class — rack names repeat across the per-class mini-fleets, so
+// class+system+rack is the unique series identity.
+func rackRunObserved(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConfig, class string) (rackMetrics, *metrics.Snapshot, *obs.Tracer) {
 	var requests, successes, penaltyN, perfN int
 	var penaltySum, perfSum float64
+	var reg *metrics.Registry
+	var tracer *obs.Tracer
+	var shardLabels []metrics.Label
+	if cfg.Observe {
+		reg = metrics.NewRegistry()
+		tracer = obs.New()
+		shardLabels = []metrics.Label{
+			metrics.L("class", class),
+			metrics.L("system", sys.String()),
+		}
+	}
 	evalStart := fleetStart.Add(time.Duration(cfg.TrainDays) * 24 * time.Hour)
 	ticks := cfg.EvalDays * int(24*time.Hour/cfg.Step)
 
@@ -383,9 +422,15 @@ func rackRun(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConfig) rack
 		demands[i] = demandSeries(st, cfg, evalStart, ticks)
 	}
 	rack := power.NewRack(rackCfg, servers...)
+	if reg != nil {
+		rack.Instrument(reg, tracer, shardLabels...)
+	}
 
 	// Global Overclocking Agent: training-week templates per server.
 	goa := core.NewGOA(rt.Name, rt.LimitWatts)
+	if reg != nil {
+		goa.Instrument(reg, tracer, shardLabels...)
+	}
 	trainEnd := evalStart
 	for i, st := range rt.Servers {
 		train := st.Power.Slice(fleetStart, trainEnd)
@@ -453,6 +498,12 @@ func rackRun(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConfig) rack
 		}
 		train := st.Power.Slice(fleetStart, trainEnd)
 		soas[i].SetPowerTemplate(templateFromPredictor(predictorFor(cfg.TemplateStrategy), train))
+		if reg != nil {
+			soaLabels := make([]metrics.Label, 0, len(shardLabels)+1)
+			soaLabels = append(soaLabels, shardLabels...)
+			soaLabels = append(soaLabels, metrics.L("rack", rt.Name))
+			soas[i].Instrument(reg, tracer, soaLabels...)
+		}
 	}
 
 	// Rack events feed every sOA; caps are counted by the rack itself.
@@ -537,11 +588,15 @@ func rackRun(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConfig) rack
 			}
 		}
 	}
-	return rackMetrics{
+	m := rackMetrics{
 		caps: rack.CapEvents(), requests: requests, successes: successes,
 		penaltySum: penaltySum, penaltyN: penaltyN,
 		perfSum: perfSum, perfN: perfN,
 	}
+	if reg == nil {
+		return m, nil, nil
+	}
+	return m, reg.Snapshot(), tracer
 }
 
 // fleetOpts returns the parallel scheduling options for a fleet sim config.
@@ -564,6 +619,19 @@ type table1Shard struct {
 // across cfg.Workers goroutines; shard results are folded in shard-index
 // order so the table is bit-identical to the serial sweep.
 func RunTable1(cfg FleetSimConfig) (*Table, []Table1Row, error) {
+	tbl, rows, _, err := runTable1(cfg)
+	return tbl, rows, err
+}
+
+// RunTable1Observed is RunTable1 with the observability layer on: it
+// additionally returns the fleet-wide metrics snapshot and event trace,
+// merged across shards in shard-index order.
+func RunTable1Observed(cfg FleetSimConfig) (*Table, []Table1Row, *FleetObservation, error) {
+	cfg.Observe = true
+	return runTable1(cfg)
+}
+
+func runTable1(cfg FleetSimConfig) (*Table, []Table1Row, *FleetObservation, error) {
 	days := cfg.TrainDays + cfg.EvalDays
 	classes := []trace.ClusterClass{trace.HighPower, trace.MediumPower, trace.LowPower}
 	systems := baselines.All()
@@ -583,7 +651,7 @@ func RunTable1(cfg FleetSimConfig) (*Table, []Table1Row, error) {
 		fcfg.Workers = cfg.Workers
 		fleet, err := trace.GenFleet(fcfg)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		racks := fleet.ByClass(class)
 		racksPerClass[ci] = len(racks)
@@ -598,16 +666,36 @@ func RunTable1(cfg FleetSimConfig) (*Table, []Table1Row, error) {
 	}
 
 	// Fan out. Each shard is pure; results land in index-addressed slots.
-	results := parallel.Map(len(shards), fleetOpts(cfg), func(i int) rackMetrics {
-		return rackRun(shards[i].rack, shards[i].sys, cfg)
+	type shardResult struct {
+		m    rackMetrics
+		snap *metrics.Snapshot
+		tr   *obs.Tracer
+	}
+	results := parallel.Map(len(shards), fleetOpts(cfg), func(i int) shardResult {
+		m, snap, tr := rackRunObserved(shards[i].rack, shards[i].sys, cfg, shards[i].class.String())
+		return shardResult{m: m, snap: snap, tr: tr}
 	})
 
 	// Reduce in shard order: shards are grouped by cell, so this fold
 	// visits each cell's racks in generation order, exactly like the old
-	// serial loop.
+	// serial loop. Telemetry merges in the same order, which is what makes
+	// the snapshot and trace byte-identical across worker counts.
 	cells := make([]rackMetrics, len(classes)*len(systems))
-	for i, m := range results {
-		cells[shards[i].cell].accumulate(m)
+	var observation *FleetObservation
+	if cfg.Observe {
+		snaps := make([]*metrics.Snapshot, len(results))
+		tracers := make([]*obs.Tracer, len(results))
+		for i, r := range results {
+			snaps[i] = r.snap
+			tracers[i] = r.tr
+		}
+		observation = &FleetObservation{
+			Metrics: metrics.Merge(snaps...),
+			Trace:   obs.Concat(tracers...),
+		}
+	}
+	for i, r := range results {
+		cells[shards[i].cell].accumulate(r.m)
 	}
 
 	var rows []Table1Row
@@ -653,5 +741,5 @@ func RunTable1(cfg FleetSimConfig) (*Table, []Table1Row, error) {
 			fmt.Sprintf("%.0f%%", r.PenaltyPct),
 			fmt.Sprintf("%.3f", r.NormPerf))
 	}
-	return tbl, rows, nil
+	return tbl, rows, observation, nil
 }

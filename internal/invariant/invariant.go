@@ -23,6 +23,8 @@ import (
 
 	"smartoclock/internal/core"
 	"smartoclock/internal/lifetime"
+	"smartoclock/internal/metrics"
+	"smartoclock/internal/obs"
 	"smartoclock/internal/power"
 )
 
@@ -49,6 +51,9 @@ type check struct {
 	name string
 	rack string
 	fn   func(now time.Time, report Reporter)
+	// viol, when the checker is instrumented, counts this check's
+	// violations in the metrics registry.
+	viol *metrics.Counter
 }
 
 // Checker runs registered invariants and collects violations.
@@ -61,6 +66,12 @@ type Checker struct {
 	MaxRecord  int
 	violations []Violation
 	total      int
+
+	// Instrumentation (see Instrument).
+	reg        *metrics.Registry
+	tracer     *obs.Tracer
+	checksRun  *metrics.Counter
+	extraLabel []metrics.Label
 }
 
 // NewChecker returns an empty checker recording up to 100 violations.
@@ -69,15 +80,52 @@ func NewChecker() *Checker { return &Checker{MaxRecord: 100} }
 // Register adds an invariant. fn is called on every Check with the current
 // tick time and a reporter for violations.
 func (c *Checker) Register(invariantName, rack string, fn func(now time.Time, report Reporter)) {
-	c.checks = append(c.checks, check{name: invariantName, rack: rack, fn: fn})
+	ck := check{name: invariantName, rack: rack, fn: fn}
+	if c.reg != nil {
+		ck.viol = c.violationCounter(invariantName)
+	}
+	c.checks = append(c.checks, ck)
+}
+
+// Instrument attaches the checker to a registry and tracer: Check passes
+// count into invariant_checks_total and each violation into
+// invariant_violations_total{invariant} plus a trace event. Checks already
+// registered are wired up too, so Instrument may run before or after them.
+func (c *Checker) Instrument(reg *metrics.Registry, tr *obs.Tracer, labels ...metrics.Label) {
+	c.reg = reg
+	c.tracer = tr
+	c.extraLabel = append([]metrics.Label(nil), labels...)
+	c.checksRun = reg.Counter("invariant_checks_total", c.extraLabel...)
+	for i := range c.checks {
+		c.checks[i].viol = c.violationCounter(c.checks[i].name)
+	}
+}
+
+// violationCounter resolves the per-invariant violation counter.
+func (c *Checker) violationCounter(invariantName string) *metrics.Counter {
+	ls := make([]metrics.Label, 0, len(c.extraLabel)+1)
+	ls = append(ls, c.extraLabel...)
+	ls = append(ls, metrics.L("invariant", invariantName))
+	return c.reg.Counter("invariant_violations_total", ls...)
 }
 
 // Check runs every registered invariant at tick time now.
 func (c *Checker) Check(now time.Time) {
 	c.nRuns++
-	for _, ck := range c.checks {
+	if c.checksRun != nil {
+		c.checksRun.Inc()
+	}
+	for i := range c.checks {
+		ck := &c.checks[i]
 		ck.fn(now, func(detail string) {
 			c.total++
+			if ck.viol != nil {
+				ck.viol.Inc()
+				c.tracer.Emit(obs.Event{
+					Time: now, Component: obs.Invariant, Kind: "violation",
+					Source: ck.rack, Detail: ck.name + ": " + detail,
+				})
+			}
 			if len(c.violations) < c.MaxRecord {
 				c.violations = append(c.violations, Violation{
 					Time: now, Rack: ck.rack, Invariant: ck.name, Detail: detail,

@@ -14,6 +14,8 @@ import (
 	"math/rand"
 	"sort"
 	"time"
+
+	"smartoclock/internal/metrics"
 )
 
 // Config describes a server model. All frequencies are in MHz.
@@ -133,6 +135,27 @@ type Machine struct {
 	ocTime    []time.Duration
 	energy    float64 // joules
 	elapsed   time.Duration
+
+	// obs, when non-nil, holds resolved metric handles (see Instrument).
+	obs *machineObs
+}
+
+// machineObs holds the machine's resolved instruments: the PMT-like
+// counters a real deployment would scrape from the BMC.
+type machineObs struct {
+	energy  *metrics.Gauge
+	ocSecs  *metrics.Gauge
+	ocCores *metrics.Gauge
+}
+
+// Instrument attaches the machine's hardware counters to a registry; the
+// gauges refresh on every Advance.
+func (m *Machine) Instrument(reg *metrics.Registry, labels ...metrics.Label) {
+	m.obs = &machineObs{
+		energy:  reg.Gauge("machine_energy_joules", labels...),
+		ocSecs:  reg.Gauge("machine_oc_core_seconds", labels...),
+		ocCores: reg.Gauge("machine_oc_cores", labels...),
+	}
 }
 
 // New creates a machine from cfg with all cores at turbo and idle.
@@ -315,6 +338,19 @@ func (m *Machine) Advance(dt time.Duration) {
 		}
 	}
 	m.elapsed += dt
+	if m.obs != nil {
+		ocCores := 0
+		var ocSecs float64
+		for i := range m.coreFreq {
+			if m.IsOverclocked(i) {
+				ocCores++
+			}
+			ocSecs += m.ocTime[i].Seconds()
+		}
+		m.obs.energy.Set(m.energy)
+		m.obs.ocSecs.Set(ocSecs)
+		m.obs.ocCores.Set(float64(ocCores))
+	}
 }
 
 // OCTime returns core i's cumulative overclocked time-in-state — the

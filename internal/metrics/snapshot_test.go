@@ -1,0 +1,216 @@
+package metrics
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The golden tests snapshot the exposition formats byte-for-byte: any
+// change to series ordering, float formatting or label escaping shows up as
+// a readable diff against testdata/. Regenerate intentionally with:
+//
+//	go test ./internal/metrics -run Golden -update
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (rerun with -update if the change is intended):\n--- want ---\n%s\n--- got ---\n%s",
+			path, want, got)
+	}
+}
+
+// goldenRegistry builds a registry covering every instrument kind, labeled
+// and unlabeled series, label escaping and non-integer floats.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	// Registered deliberately out of lexical order: the snapshot must sort.
+	r.Counter("soa_rejects_total", L("server", "srv-1"), L("reason", "power")).Add(7)
+	r.Counter("soa_rejects_total", L("server", "srv-0"), L("reason", "lifetime")).Add(2)
+	r.Gauge("rack_power_watts", L("rack", "rack-0")).Set(1234.5625)
+	r.Gauge("unlabeled_gauge").Set(0.30000000000000004) // classic float artifact
+	r.Counter("escaped_total", L("path", `a\b"c`+"\n")).Inc()
+	h := r.Histogram("rack_utilization", FractionBuckets, L("rack", "rack-0"))
+	for _, v := range []float64{0.1, 0.55, 0.72, 0.91, 0.97, 1.2} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestWritePromGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().Snapshot().WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "snapshot.prom.golden", b.String())
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "snapshot.json.golden", b.String())
+}
+
+func TestSnapshotOrderIndependent(t *testing.T) {
+	// Same state, reversed registration order: identical bytes.
+	a := goldenRegistry().Snapshot()
+	r := NewRegistry()
+	h := r.Histogram("rack_utilization", FractionBuckets, L("rack", "rack-0"))
+	for _, v := range []float64{0.1, 0.55, 0.72, 0.91, 0.97, 1.2} {
+		h.Observe(v)
+	}
+	r.Counter("escaped_total", L("path", `a\b"c`+"\n")).Inc()
+	r.Gauge("unlabeled_gauge").Set(0.30000000000000004)
+	r.Gauge("rack_power_watts", L("rack", "rack-0")).Set(1234.5625)
+	r.Counter("soa_rejects_total", L("reason", "lifetime"), L("server", "srv-0")).Add(2)
+	r.Counter("soa_rejects_total", L("reason", "power"), L("server", "srv-1")).Add(7)
+	b := r.Snapshot()
+
+	var wa, wb strings.Builder
+	if err := a.WriteProm(&wa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteProm(&wb); err != nil {
+		t.Fatal(err)
+	}
+	if wa.String() != wb.String() {
+		t.Errorf("registration order changed exposition bytes:\n--- a ---\n%s\n--- b ---\n%s", wa.String(), wb.String())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	snap := goldenRegistry().Snapshot()
+	var b strings.Builder
+	if err := snap.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b2 strings.Builder
+	if err := back.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Error("JSON round trip is not byte-stable")
+	}
+}
+
+func TestMergeSemantics(t *testing.T) {
+	mk := func(counter, gauge float64, obsv []float64) *Snapshot {
+		r := NewRegistry()
+		r.Counter("c_total").Add(counter)
+		r.Gauge("g").Set(gauge)
+		h := r.Histogram("h", []float64{1, 10})
+		for _, v := range obsv {
+			h.Observe(v)
+		}
+		return r.Snapshot()
+	}
+	a := mk(3, 100, []float64{0.5, 5})
+	b := mk(4, 200, []float64{20})
+	m := Merge(a, nil, b)
+
+	if got := m.Find("c_total", nil).Value; got != 7 {
+		t.Errorf("merged counter = %v, want 7 (sum)", got)
+	}
+	if got := m.Find("g", nil).Value; got != 200 {
+		t.Errorf("merged gauge = %v, want 200 (last)", got)
+	}
+	h := m.Find("h", nil)
+	if h.Count != 3 || h.Value != 25.5 {
+		t.Errorf("merged histogram count/sum = %d/%v, want 3/25.5", h.Count, h.Value)
+	}
+	if h.Buckets[0].Count != 1 || h.Buckets[1].Count != 2 {
+		t.Errorf("merged cumulative buckets = %+v, want 1, 2", h.Buckets)
+	}
+}
+
+func TestMergeDisjointSeriesPassThrough(t *testing.T) {
+	ra, rb := NewRegistry(), NewRegistry()
+	ra.Counter("only_a_total").Add(1)
+	rb.Counter("only_b_total").Add(2)
+	m := Merge(ra.Snapshot(), rb.Snapshot())
+	if m.Find("only_a_total", nil) == nil || m.Find("only_b_total", nil) == nil {
+		t.Fatal("series present in one snapshot must pass through the merge")
+	}
+	if len(m.Series) != 2 {
+		t.Fatalf("merged %d series, want 2", len(m.Series))
+	}
+}
+
+func TestMergeLayoutMismatchPanics(t *testing.T) {
+	ra, rb := NewRegistry(), NewRegistry()
+	ra.Histogram("h", []float64{1, 2})
+	rb.Histogram("h", []float64{1, 2, 3})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched histogram layouts did not panic")
+		}
+	}()
+	Merge(ra.Snapshot(), rb.Snapshot())
+}
+
+func TestSumByName(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", L("s", "a")).Add(1)
+	r.Counter("x_total", L("s", "b")).Add(2)
+	r.Counter("y_total").Add(100)
+	if got := r.Snapshot().SumByName("x_total"); got != 3 {
+		t.Fatalf("SumByName = %v, want 3", got)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	mk := func(c float64, obsv int) *Snapshot {
+		r := NewRegistry()
+		r.Counter("c_total", L("s", "a")).Add(c)
+		h := r.Histogram("h", []float64{1})
+		for i := 0; i < obsv; i++ {
+			h.Observe(0.5)
+		}
+		return r.Snapshot()
+	}
+	before, after := mk(3, 1), mk(10, 4)
+	// A series only in after.
+	after.Series = append(after.Series, Series{Name: "new_total", Type: "counter", Value: 5})
+
+	entries := Diff(before, after)
+	byName := map[string]DiffEntry{}
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	if e := byName["c_total"]; e.Before != 3 || e.After != 10 || e.Delta != 7 {
+		t.Errorf("counter diff = %+v, want 3 -> 10 (Δ7)", e)
+	}
+	if e := byName["h"]; e.Before != 1 || e.After != 4 || e.Delta != 3 {
+		t.Errorf("histogram diff compares counts: %+v, want 1 -> 4 (Δ3)", e)
+	}
+	if e := byName["new_total"]; e.Before != 0 || e.Delta != 5 {
+		t.Errorf("one-sided diff = %+v, want 0 -> 5", e)
+	}
+	if e := byName["c_total"]; e.Labels != `{s="a"}` {
+		t.Errorf("rendered labels = %q", e.Labels)
+	}
+}

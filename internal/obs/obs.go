@@ -1,0 +1,148 @@
+// Package obs is the structured event tracer of the observability layer.
+// Events are stamped with simulation time (the discrete-event engine's
+// clock, never the wall clock) and grouped into per-component channels, so
+// a trace of the same seed is byte-identical however many workers ran the
+// experiment: each shard appends to its own Tracer in deterministic sim
+// order and the shards are concatenated in shard-index order.
+//
+// A nil *Tracer is valid and discards everything, which keeps the
+// instrumentation hot paths to a single pointer test when tracing is off.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Component names one event channel. The set mirrors the SmartOClock agent
+// hierarchy plus the test harnesses around it.
+type Component string
+
+const (
+	// SOA traces server overclocking agent decisions (grants, rejections,
+	// exploration transitions, feedback backoffs, exhaustion signals).
+	SOA Component = "soa"
+	// GOA traces global agent budget broadcasts.
+	GOA Component = "goa"
+	// WI traces workload intelligence predictions and scaling actions.
+	WI Component = "wi"
+	// Rack traces power-capping actions (warning, cap, release).
+	Rack Component = "rack"
+	// Chaos traces injected faults (crashes, restarts, outages).
+	Chaos Component = "chaos"
+	// Invariant traces runtime invariant violations.
+	Invariant Component = "invariant"
+)
+
+// Event is one structured trace record. Time is simulation time; Source is
+// the emitting entity (server, rack, agent); Target is the acted-on entity
+// when distinct (a VM, a crashed agent); Value carries the principal
+// quantity (watts, cores, instances) and Detail any free-form remainder.
+type Event struct {
+	Time      time.Time `json:"t"`
+	Component Component `json:"component"`
+	Kind      string    `json:"kind"`
+	Source    string    `json:"source,omitempty"`
+	Target    string    `json:"target,omitempty"`
+	Value     float64   `json:"value,omitempty"`
+	Detail    string    `json:"detail,omitempty"`
+}
+
+// Tracer accumulates events in emission order. Like the metrics registry it
+// is single-goroutine: each parallel shard owns its own Tracer, merged
+// afterwards with Append.
+type Tracer struct {
+	only   map[Component]bool // nil means trace every component
+	events []Event
+}
+
+// New returns a tracer recording every component.
+func New() *Tracer { return &Tracer{} }
+
+// NewFiltered returns a tracer recording only the given components.
+func NewFiltered(components ...Component) *Tracer {
+	only := make(map[Component]bool, len(components))
+	for _, c := range components {
+		only[c] = true
+	}
+	return &Tracer{only: only}
+}
+
+// Emit records an event. Safe on a nil tracer (no-op), so instrumented
+// components need no tracing-enabled flag of their own.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	if t.only != nil && !t.only[ev.Component] {
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Len returns the number of recorded events; 0 on a nil tracer.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Events returns the recorded events in emission order. The slice is the
+// tracer's own; callers must not mutate it.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Append concatenates other's events onto t, preserving order. Merging
+// shard tracers in shard-index order keeps the combined trace deterministic
+// across worker counts.
+func (t *Tracer) Append(other *Tracer) {
+	if t == nil || other == nil {
+		return
+	}
+	t.events = append(t.events, other.events...)
+}
+
+// Concat builds a single tracer from shard tracers in argument order. Nil
+// entries are skipped.
+func Concat(tracers ...*Tracer) *Tracer {
+	out := New()
+	for _, tr := range tracers {
+		out.Append(tr)
+	}
+	return out
+}
+
+// WriteJSONL writes one JSON object per event. Timestamps marshal as
+// RFC 3339 with nanoseconds (simulation times are UTC), and struct field
+// order is fixed, so output is byte-deterministic.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for i := range t.events {
+		if err := enc.Encode(&t.events[i]); err != nil {
+			return fmt.Errorf("obs: encode event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CountByComponent tallies recorded events per component.
+func (t *Tracer) CountByComponent() map[Component]int {
+	out := make(map[Component]int)
+	if t == nil {
+		return out
+	}
+	for i := range t.events {
+		out[t.events[i].Component]++
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2023, 4, 10, 9, 0, 0, 0, time.UTC)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Component: SOA, Kind: "reject"}) // must not panic
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer must be empty")
+	}
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b); err != nil || b.Len() != 0 {
+		t.Fatal("nil tracer must write nothing")
+	}
+	if got := tr.CountByComponent(); len(got) != 0 {
+		t.Fatal("nil tracer must count nothing")
+	}
+	tr.Append(New()) // no-op, must not panic
+}
+
+func TestEmitOrderPreserved(t *testing.T) {
+	tr := New()
+	for i, k := range []string{"a", "b", "c"} {
+		tr.Emit(Event{Time: t0.Add(time.Duration(i) * time.Second), Component: Rack, Kind: k})
+	}
+	evs := tr.Events()
+	if len(evs) != 3 || evs[0].Kind != "a" || evs[2].Kind != "c" {
+		t.Fatalf("events out of order: %+v", evs)
+	}
+}
+
+func TestFilteredTracer(t *testing.T) {
+	tr := NewFiltered(Rack, Invariant)
+	tr.Emit(Event{Component: Rack, Kind: "cap"})
+	tr.Emit(Event{Component: SOA, Kind: "reject"}) // filtered out
+	tr.Emit(Event{Component: Invariant, Kind: "violation"})
+	if tr.Len() != 2 {
+		t.Fatalf("filtered tracer recorded %d events, want 2", tr.Len())
+	}
+	counts := tr.CountByComponent()
+	if counts[Rack] != 1 || counts[Invariant] != 1 || counts[SOA] != 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestConcatShardOrder(t *testing.T) {
+	a, b := New(), New()
+	a.Emit(Event{Time: t0, Component: SOA, Kind: "from-a"})
+	b.Emit(Event{Time: t0, Component: SOA, Kind: "from-b"})
+	merged := Concat(a, nil, b)
+	evs := merged.Events()
+	if len(evs) != 2 || evs[0].Kind != "from-a" || evs[1].Kind != "from-b" {
+		t.Fatalf("concat order wrong: %+v", evs)
+	}
+}
+
+func TestWriteJSONLDeterministic(t *testing.T) {
+	mk := func() string {
+		tr := New()
+		tr.Emit(Event{Time: t0, Component: GOA, Kind: "budget", Source: "goa", Target: "srv-0", Value: 512.25})
+		tr.Emit(Event{Time: t0.Add(time.Minute), Component: Chaos, Kind: "crash", Target: "soa-1", Detail: "plan"})
+		var b strings.Builder
+		if err := tr.WriteJSONL(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	first := mk()
+	for i := 0; i < 3; i++ {
+		if got := mk(); got != first {
+			t.Fatalf("JSONL output varies across writes:\n%s\nvs\n%s", first, got)
+		}
+	}
+	if !strings.Contains(first, `"component":"goa"`) || !strings.Contains(first, `"value":512.25`) {
+		t.Fatalf("unexpected encoding:\n%s", first)
+	}
+	// Zero-valued optional fields stay omitted to keep traces compact.
+	if strings.Contains(first, `"detail":""`) || strings.Contains(strings.Split(first, "\n")[1], `"value"`) {
+		t.Fatalf("omitempty fields leaked:\n%s", first)
+	}
+	if lines := strings.Count(first, "\n"); lines != 2 {
+		t.Fatalf("want one line per event, got %d lines", lines)
+	}
+}

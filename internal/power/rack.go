@@ -15,6 +15,9 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"smartoclock/internal/metrics"
+	"smartoclock/internal/obs"
 )
 
 // Server is the rack manager's view of one server: a power sensor plus a
@@ -137,6 +140,75 @@ type Rack struct {
 	cappedTime  time.Duration
 	lastTick    time.Time
 	hasLastTick bool
+
+	// obs, when non-nil, holds resolved metric handles and the tracer.
+	obs *rackObs
+}
+
+// rackObs holds the rack manager's resolved instruments.
+type rackObs struct {
+	tracer    *obs.Tracer
+	warnings  *metrics.Counter
+	caps      *metrics.Counter
+	releases  *metrics.Counter
+	power     *metrics.Gauge
+	util      *metrics.Histogram
+	capLevels *metrics.Gauge
+}
+
+// Instrument attaches the rack manager to a registry and tracer. The rack
+// label is the configured name; extra labels give experiment context.
+func (r *Rack) Instrument(reg *metrics.Registry, tr *obs.Tracer, labels ...metrics.Label) {
+	ls := make([]metrics.Label, 0, len(labels)+1)
+	ls = append(ls, labels...)
+	ls = append(ls, metrics.L("rack", r.cfg.Name))
+	r.obs = &rackObs{
+		tracer:    tr,
+		warnings:  reg.Counter("rack_warnings_total", ls...),
+		caps:      reg.Counter("rack_cap_events_total", ls...),
+		releases:  reg.Counter("rack_releases_total", ls...),
+		power:     reg.Gauge("rack_power_watts", ls...),
+		util:      reg.Histogram("rack_utilization", metrics.FractionBuckets, ls...),
+		capLevels: reg.Gauge("rack_cap_levels", ls...),
+	}
+}
+
+// obsEvent counts and traces one emitted rack event.
+func (r *Rack) obsEvent(ev Event) {
+	if r.obs == nil {
+		return
+	}
+	switch ev.Kind {
+	case EventWarning:
+		r.obs.warnings.Inc()
+	case EventCap:
+		r.obs.caps.Inc()
+	case EventRelease:
+		r.obs.releases.Inc()
+	}
+	// Warnings are too frequent near the threshold to trace individually;
+	// capping actions and full releases are the bounded, load-bearing ones.
+	if ev.Kind != EventWarning {
+		r.obs.tracer.Emit(obs.Event{
+			Time: ev.Time, Component: obs.Rack, Kind: ev.Kind.String(),
+			Source: ev.Rack, Value: ev.Power, Detail: "limit=" + fmt.Sprintf("%g", ev.Limit),
+		})
+	}
+}
+
+// obsTick samples the power gauge and utilization histogram once per
+// control cycle.
+func (r *Rack) obsTick(p float64) {
+	if r.obs == nil {
+		return
+	}
+	r.obs.power.Set(p)
+	r.obs.util.Observe(p / r.cfg.LimitWatts)
+	lvl := 0
+	for _, s := range r.servers {
+		lvl += s.CapLevel()
+	}
+	r.obs.capLevels.Set(float64(lvl))
 }
 
 // NewRack creates a rack manager. It panics on invalid configuration.
@@ -195,6 +267,7 @@ func (r *Rack) IsCapped() bool {
 }
 
 func (r *Rack) emit(ev Event) {
+	r.obsEvent(ev)
 	for _, fn := range r.subs {
 		fn(ev)
 	}
@@ -210,6 +283,7 @@ func (r *Rack) Tick(now time.Time) {
 	r.hasLastTick = true
 
 	p := r.Power()
+	r.obsTick(p)
 	limit := r.cfg.LimitWatts
 	switch {
 	case p >= limit:

@@ -36,10 +36,17 @@ func (c *CDF) At(x float64) float64 {
 	return float64(i) / float64(len(c.sorted))
 }
 
-// Quantile returns the value at cumulative probability q in [0,1].
+// Quantile returns the value at cumulative probability q. Out-of-range q
+// is clamped to [0,1], matching Percentile's clamping semantics.
 func (c *CDF) Quantile(q float64) float64 {
 	if len(c.sorted) == 0 {
 		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
 	}
 	return percentileSorted(c.sorted, q*100)
 }
