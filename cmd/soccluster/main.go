@@ -7,8 +7,13 @@
 //
 //	soccluster [-minutes M] [-warmup M] [-seed S]
 //	           [-main] [-powerconstrained] [-occonstrained]
+//	soccluster -serve 127.0.0.1:9188 [-pace 200ms] [-minutes M]
 //
-// With no experiment flag all three run.
+// With no experiment flag all three run. -serve switches to the live
+// networked mode instead: a small rack whose control plane crosses real
+// loopback TCP links, paced in wall-clock time, with /metrics, /healthz,
+// /trace/tail and /debug/pprof served on the given address for the
+// duration of the run.
 package main
 
 import (
@@ -21,12 +26,15 @@ import (
 	"time"
 
 	"smartoclock/internal/experiment"
+	"smartoclock/internal/obs"
+	"smartoclock/internal/telemetry"
 )
 
-// writeObservation writes the merged metrics snapshot and/or event trace of
-// an observed sweep. Metrics format: Prometheus text exposition by default,
-// JSON when the path ends in .json. Traces are JSON Lines.
-func writeObservation(metricsPath, tracePath string, o *experiment.FleetObservation) {
+// writeObservation writes the merged metrics snapshot, event trace and/or
+// recorded series of an observed sweep. Metrics format: Prometheus text
+// exposition by default, JSON when the path ends in .json. Traces are JSON
+// Lines. Series: CSV by default, JSON when the path ends in .json.
+func writeObservation(metricsPath, tracePath, seriesPath string, o *experiment.FleetObservation) {
 	if o == nil {
 		return
 	}
@@ -60,6 +68,23 @@ func writeObservation(metricsPath, tracePath string, o *experiment.FleetObservat
 			log.Fatal(err)
 		}
 	}
+	if seriesPath != "" && o.Series != nil {
+		f, err := os.Create(seriesPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if strings.HasSuffix(seriesPath, ".json") {
+			err = o.Series.WriteJSON(f)
+		} else {
+			err = o.Series.WriteCSV(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
 func main() {
@@ -76,7 +101,38 @@ func main() {
 	runOC := flag.Bool("occonstrained", false, "run only the overclocking-constrained comparison")
 	metricsOut := flag.String("metrics-out", "", "write the merged metrics snapshot of the Figs 12-14 sweep (or, if only -powerconstrained runs, that sweep) here; .json selects JSON, anything else Prometheus text")
 	traceOut := flag.String("trace-out", "", "write the merged structured event trace of the observed sweep here as JSON Lines")
+	seriesOut := flag.String("series-out", "", "write the merged recorded time series of the observed sweep here; .json selects JSON, anything else CSV")
+	recordEvery := flag.Duration("record-every", 0, "sampling interval (emulated time) for -series-out; defaults to 1m")
+	traceComponents := flag.String("trace-components", "", "comma-separated obs components to trace (e.g. soa,rack,alert); empty traces everything")
+	serve := flag.String("serve", "", "run the live networked mode instead, serving /metrics, /healthz, /trace/tail and /debug/pprof on this address until the run ends")
+	pace := flag.Duration("pace", 200*time.Millisecond, "wall-clock pace per live tick (with -serve); 0 runs flat out")
 	flag.Parse()
+
+	comps, err := obs.ParseComponents(*traceComponents)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *serve != "" {
+		srv := telemetry.NewServer(telemetry.DefaultTailCap)
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		cfg := experiment.DefaultLiveConfig()
+		cfg.Seed = *seed
+		cfg.Duration = time.Duration(*minutes) * time.Minute
+		cfg.Pace = *pace
+		cfg.TraceOnly = comps
+		fmt.Fprintf(os.Stderr, "soccluster: live mode on http://%s — %v simulated at %v/tick...\n", addr, cfg.Duration, cfg.Pace)
+		res, err := experiment.RunLive(cfg, srv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Format())
+		return
+	}
 
 	all := !*runMain && !*runPower && !*runOC
 	base := experiment.DefaultClusterConfig(experiment.SysSmartOClock)
@@ -84,7 +140,14 @@ func main() {
 	base.Warmup = time.Duration(*warmup) * time.Minute
 	base.Seed = *seed
 	base.Workers = *workers
-	base.Observe = *metricsOut != "" || *traceOut != ""
+	base.Observe = *metricsOut != "" || *traceOut != "" || *seriesOut != ""
+	base.TraceOnly = comps
+	if *seriesOut != "" {
+		base.RecordEvery = *recordEvery
+		if base.RecordEvery == 0 {
+			base.RecordEvery = time.Minute
+		}
+	}
 	observed := false
 
 	if *runMain || all {
@@ -97,7 +160,7 @@ func main() {
 		fmt.Println(fig13.Format())
 		fmt.Println(fig14.Format())
 		if base.Observe && !observed {
-			writeObservation(*metricsOut, *traceOut, experiment.MergeClusterObservations(experiment.ClusterSystems(), results))
+			writeObservation(*metricsOut, *traceOut, *seriesOut, experiment.MergeClusterObservations(experiment.ClusterSystems(), results))
 			observed = true
 		}
 	}
@@ -109,7 +172,7 @@ func main() {
 		fmt.Println(tbl.Format())
 		if base.Observe && !observed {
 			systems := []experiment.ClusterSystem{experiment.SysNaiveOClock, experiment.SysSmartOClock}
-			writeObservation(*metricsOut, *traceOut, experiment.MergeClusterObservations(systems, results))
+			writeObservation(*metricsOut, *traceOut, *seriesOut, experiment.MergeClusterObservations(systems, results))
 			observed = true
 		}
 	}

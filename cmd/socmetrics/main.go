@@ -7,11 +7,15 @@
 //
 //	socmetrics show snapshot.json
 //	socmetrics diff [-all] before.json after.json
+//	socmetrics series [-json] [-metric NAME] recording.json
 //
 // show renders a snapshot as Prometheus text exposition. diff prints one
 // line per series whose value changed between the two snapshots (counters
 // and gauges compare values; histograms compare observation counts); -all
-// includes unchanged series too.
+// includes unchanged series too. series renders a recording written by
+// -series-out (JSON format) as long-form CSV — one row per (time, series,
+// kind) — or re-emits it as normalized JSON with -json; -metric restricts
+// the output to one metric name.
 package main
 
 import (
@@ -27,7 +31,8 @@ import (
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   socmetrics show snapshot.json
-  socmetrics diff [-all] before.json after.json`)
+  socmetrics diff [-all] before.json after.json
+  socmetrics series [-json] [-metric NAME] recording.json`)
 	os.Exit(2)
 }
 
@@ -82,6 +87,44 @@ func main() {
 		}
 		w.Flush()
 		fmt.Fprintf(os.Stderr, "socmetrics: %d of %d series shown\n", shown, len(entries))
+
+	case "series":
+		fs := flag.NewFlagSet("series", flag.ExitOnError)
+		asJSON := fs.Bool("json", false, "re-emit the recording as normalized JSON instead of CSV")
+		metric := fs.String("metric", "", "restrict output to this metric name")
+		fs.Parse(os.Args[2:])
+		if fs.NArg() != 1 {
+			usage()
+		}
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec, err := metrics.ReadRecording(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", fs.Arg(0), err)
+		}
+		if *metric != "" {
+			kept := rec.Series[:0]
+			for _, s := range rec.Series {
+				if s.Name == *metric {
+					kept = append(kept, s)
+				}
+			}
+			rec.Series = kept
+			if len(kept) == 0 {
+				log.Fatalf("%s: no series named %q", fs.Arg(0), *metric)
+			}
+		}
+		if *asJSON {
+			err = rec.WriteJSON(os.Stdout)
+		} else {
+			err = rec.WriteCSV(os.Stdout)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
 
 	default:
 		usage()

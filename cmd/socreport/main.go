@@ -113,6 +113,26 @@ func main() {
 	table(experiment.RunAblationWarnThreshold(fleetCfg))
 	table(experiment.RunDatacenterRebalance(fleetCfg))
 
+	section("Chaos and alerts (§VI)")
+	log.Print("running the chaos experiment...")
+	chaosCfg := experiment.DefaultChaosConfig()
+	chaosCfg.Seed = *seed
+	if *fast {
+		chaosCfg.Duration = time.Hour
+		chaosCfg.GOAOutageStart = 20 * time.Minute
+		chaosCfg.GOAOutage = 20 * time.Minute
+		chaosCfg.SOACrashes = 2
+	}
+	chaosRes, err := experiment.RunChaos(chaosCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(w, "```\n%s```\n", chaosRes.Format())
+	fmt.Fprintf(w, "```\n%s```\n", experiment.FormatAlerts(chaosRes.Alerts).Format())
+	if chaosRes.Err != nil {
+		log.Fatal(chaosRes.Err)
+	}
+
 	if *out != "" {
 		log.Printf("wrote %s", *out)
 	}

@@ -20,6 +20,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"smartoclock/internal/experiment"
 	"smartoclock/internal/metrics"
@@ -62,6 +63,36 @@ func writeTrace(path string, tr *obs.Tracer) {
 	}
 }
 
+// writeSeries writes a recording to path: CSV by default, JSON when the
+// path ends in .json.
+func writeSeries(path string, rec *metrics.Recording) {
+	if path == "" || rec == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		err = rec.WriteJSON(f)
+	} else {
+		err = rec.WriteCSV(f)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parseComponents parses a -trace-components value, exiting on bad input.
+func parseComponents(s string) []obs.Component {
+	comps, err := obs.ParseComponents(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return comps
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("socsim: ")
@@ -78,12 +109,20 @@ func main() {
 	runChaos := flag.Bool("chaos", false, "run the fault-injection experiment (gOA outage, lossy control plane, sOA crashes)")
 	metricsOut := flag.String("metrics-out", "", "write the metrics snapshot of the Table I run (or -chaos run) here; .json selects JSON, anything else Prometheus text")
 	traceOut := flag.String("trace-out", "", "write the structured event trace of the Table I run (or -chaos run) here as JSON Lines")
+	seriesOut := flag.String("series-out", "", "write the recorded time series of the Table I run (or -chaos run) here; .json selects JSON, anything else CSV")
+	recordEvery := flag.Duration("record-every", 0, "sampling interval (sim time) for -series-out; defaults to 1h for Table I and 30s for -chaos")
+	traceComponents := flag.String("trace-components", "", "comma-separated obs components to trace (e.g. soa,rack,alert); empty traces everything")
 	flag.Parse()
-	observe := *metricsOut != "" || *traceOut != ""
+	observe := *metricsOut != "" || *traceOut != "" || *seriesOut != ""
+	comps := parseComponents(*traceComponents)
 
 	if *runChaos {
 		cfg := experiment.DefaultChaosConfig()
 		cfg.Seed = *seed
+		cfg.TraceOnly = comps
+		if *recordEvery > 0 {
+			cfg.RecordEvery = *recordEvery
+		}
 		fmt.Fprintf(os.Stderr, "socsim: chaos run — %d servers, %v, %.0f%% drop, %v gOA outage, %d sOA crashes...\n",
 			cfg.Servers, cfg.Duration, 100*cfg.DropProb, cfg.GOAOutage, cfg.SOACrashes)
 		res, err := experiment.RunChaos(cfg)
@@ -91,8 +130,10 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(res.Format())
+		fmt.Println(experiment.FormatAlerts(res.Alerts).Format())
 		writeMetrics(*metricsOut, res.Metrics)
 		writeTrace(*traceOut, res.Trace)
+		writeSeries(*seriesOut, res.Series)
 		if res.Err != nil {
 			log.Fatal(res.Err)
 		}
@@ -111,6 +152,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "socsim: simulating %d racks/class, %d train + %d eval days (%d workers)...\n",
 			cfg.RacksPerClass, cfg.TrainDays, cfg.EvalDays, *workers)
 		if observe {
+			cfg.TraceOnly = comps
+			if *seriesOut != "" {
+				cfg.RecordEvery = *recordEvery
+				if cfg.RecordEvery == 0 {
+					cfg.RecordEvery = time.Hour
+				}
+			}
 			tbl, _, observation, err := experiment.RunTable1Observed(cfg)
 			if err != nil {
 				log.Fatal(err)
@@ -118,6 +166,7 @@ func main() {
 			fmt.Println(tbl.Format())
 			writeMetrics(*metricsOut, observation.Metrics)
 			writeTrace(*traceOut, observation.Trace)
+			writeSeries(*seriesOut, observation.Series)
 		} else {
 			tbl, _, err := experiment.RunTable1(cfg)
 			if err != nil {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // MaxFrameBytes bounds a single line-delimited frame on the wire. Frames
@@ -72,6 +73,7 @@ type TCPNode struct {
 	conns    map[string]net.Conn // address -> cached outbound connection
 	accepted map[net.Conn]bool   // inbound connections, closed on shutdown
 	listener net.Listener
+	instr    *transportInstruments
 	closed   bool
 	wg       sync.WaitGroup
 }
@@ -125,15 +127,20 @@ func (n *TCPNode) Send(msg Message) error {
 		n.mu.Unlock()
 		return errors.New("agent: node closed")
 	}
+	instr := n.instr
 	if h, ok := n.handlers[msg.To]; ok {
 		n.mu.Unlock()
+		start := time.Now()
 		h(msg)
+		instr.send(len(msg.Payload), time.Since(start), nil)
 		return nil
 	}
 	addr, ok := n.peers[msg.To]
 	n.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("agent: unknown recipient %q", msg.To)
+		err := fmt.Errorf("agent: unknown recipient %q", msg.To)
+		instr.send(0, 0, err)
+		return err
 	}
 	return n.sendTo(addr, msg)
 }
@@ -141,21 +148,30 @@ func (n *TCPNode) Send(msg Message) error {
 // sendTo writes msg to addr, dialing or reusing a cached connection and
 // retrying once on a stale connection.
 func (n *TCPNode) sendTo(addr string, msg Message) error {
+	n.mu.Lock()
+	instr := n.instr
+	n.mu.Unlock()
 	data, err := EncodeFrame(msg)
 	if err != nil {
+		instr.send(0, 0, err)
 		return err
 	}
+	start := time.Now()
 	for attempt := 0; attempt < 2; attempt++ {
 		conn, err := n.conn(addr)
 		if err != nil {
+			instr.send(0, 0, err)
 			return err
 		}
 		if _, err := conn.Write(data); err == nil {
+			instr.send(len(data), time.Since(start), nil)
 			return nil
 		}
 		n.dropConn(addr)
 	}
-	return fmt.Errorf("agent: send to %s failed", addr)
+	err = fmt.Errorf("agent: send to %s failed", addr)
+	instr.send(0, 0, err)
+	return err
 }
 
 func (n *TCPNode) conn(addr string) (net.Conn, error) {
@@ -223,15 +239,20 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 0, 64*1024), MaxFrameBytes)
 	for scanner.Scan() {
-		msg, err := DecodeFrame(scanner.Bytes())
+		frame := scanner.Bytes()
+		msg, err := DecodeFrame(frame)
 		if err != nil {
 			continue // skip malformed frames rather than killing the link
 		}
 		n.mu.Lock()
 		h, ok := n.handlers[msg.To]
+		instr := n.instr
 		n.mu.Unlock()
 		if ok {
+			instr.recv(len(frame))
+			instr.queue(1)
 			h(msg)
+			instr.queue(-1)
 		}
 	}
 }

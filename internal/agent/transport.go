@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Message is the envelope every agent exchange uses.
@@ -77,6 +78,7 @@ type Transport interface {
 type Bus struct {
 	mu       sync.Mutex
 	handlers map[string]Handler
+	instr    *transportInstruments
 	// Defer, when non-nil, receives each delivery thunk instead of the
 	// thunk running synchronously. Set it to the simulator's scheduling
 	// function to model latency.
@@ -107,15 +109,34 @@ func (b *Bus) Send(msg Message) error {
 	b.mu.Lock()
 	h, ok := b.handlers[msg.To]
 	deferFn := b.Defer
+	instr := b.instr
 	b.mu.Unlock()
 	if !ok {
+		instr.send(0, 0, fmt.Errorf("agent: unknown recipient %q", msg.To))
 		return fmt.Errorf("agent: unknown recipient %q", msg.To)
 	}
-	if deferFn != nil {
-		deferFn(func() { h(msg) })
+	if instr == nil {
+		if deferFn != nil {
+			deferFn(func() { h(msg) })
+			return nil
+		}
+		h(msg)
 		return nil
 	}
-	h(msg)
+	start := time.Now()
+	deliver := func() {
+		h(msg)
+		instr.send(len(msg.Payload), time.Since(start), nil)
+	}
+	if deferFn != nil {
+		instr.queue(1)
+		deferFn(func() {
+			instr.queue(-1)
+			deliver()
+		})
+		return nil
+	}
+	deliver()
 	return nil
 }
 

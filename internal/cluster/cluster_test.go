@@ -177,3 +177,94 @@ func TestSOAOnClusterServer(t *testing.T) {
 		t.Fatal("sOA did not revert budget")
 	}
 }
+
+// TestCapReconciliationAllLevels sweeps every cap level against a spread of
+// desired frequencies and checks the apply/capCeiling reconciliation
+// invariant exactly: the effective frequency is min(desired, ceiling),
+// where the ceiling drops one DVFS step per level from MaxOC and floors at
+// MinMHz, and capping never rewrites the sOA's desired frequency.
+func TestCapReconciliationAllLevels(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 8
+	s := NewServer("s1", cfg, 0)
+	desired := []int{cfg.MinMHz, 2500, cfg.TurboMHz, 3700, cfg.MaxOCMHz}
+	for i, d := range desired {
+		s.SetDesiredFreq(i, d)
+	}
+	for level := 0; level <= s.MaxCapLevel(); level++ {
+		s.ForceCap(level)
+		if s.CapLevel() != level {
+			t.Fatalf("CapLevel = %d, want %d", s.CapLevel(), level)
+		}
+		ceiling := cfg.MaxOCMHz - level*cfg.StepMHz
+		if ceiling < cfg.MinMHz {
+			ceiling = cfg.MinMHz
+		}
+		for i, d := range desired {
+			want := d
+			if want > ceiling {
+				want = ceiling
+			}
+			if got := s.EffectiveFreq(i); got != want {
+				t.Fatalf("level %d core %d (desired %d): effective = %d, want %d",
+					level, i, d, got, want)
+			}
+			if s.DesiredFreq(i) != d {
+				t.Fatalf("level %d rewrote desired[%d]: %d", level, i, s.DesiredFreq(i))
+			}
+		}
+	}
+	// The deepest level must bottom out exactly at MinMHz.
+	s.ForceCap(s.MaxCapLevel())
+	if got := s.EffectiveFreq(len(desired) - 1); got != cfg.MinMHz {
+		t.Fatalf("max level effective = %d, want floor %d", got, cfg.MinMHz)
+	}
+	// Full release restores every desired frequency.
+	s.ForceCap(0)
+	for i, d := range desired {
+		if got := s.EffectiveFreq(i); got != d {
+			t.Fatalf("after release core %d = %d, want %d", i, got, d)
+		}
+	}
+}
+
+// TestCapReapplyAfterRelease covers the re-apply path: requests made while
+// capped are ceiling-bounded immediately but remembered in full, partial
+// release raises the ceiling one step at a time, and a fresh cap after a
+// full release digs in again from the restored frequencies.
+func TestCapReapplyAfterRelease(t *testing.T) {
+	s := newServer()
+	s.SetDesiredFreq(0, 4000)
+	s.ForceCap(7) // ceiling 3300: overclock fully stripped
+	if got := s.EffectiveFreq(0); got != 3300 {
+		t.Fatalf("capped freq = %d, want 3300", got)
+	}
+	// A request made while capped takes effect only up to the ceiling...
+	s.SetDesiredFreq(1, 3900)
+	if got := s.EffectiveFreq(1); got != 3300 {
+		t.Fatalf("capped new request = %d, want 3300", got)
+	}
+	// ...but is remembered in full for release.
+	if s.DesiredFreq(1) != 3900 {
+		t.Fatalf("desired[1] = %d, want 3900", s.DesiredFreq(1))
+	}
+	// Partial release: ceiling rises to 3700, both cores follow it.
+	s.ForceCap(3)
+	if a, b := s.EffectiveFreq(0), s.EffectiveFreq(1); a != 3700 || b != 3700 {
+		t.Fatalf("partial release = %d/%d, want 3700/3700", a, b)
+	}
+	// Full release restores each core's own desired frequency.
+	s.ForceCap(0)
+	if a, b := s.EffectiveFreq(0), s.EffectiveFreq(1); a != 4000 || b != 3900 {
+		t.Fatalf("release = %d/%d, want 4000/3900", a, b)
+	}
+	// Re-cap after release reconciles again, below turbo this time.
+	s.ForceCap(12) // ceiling 2800
+	if a, b := s.EffectiveFreq(0), s.EffectiveFreq(1); a != 2800 || b != 2800 {
+		t.Fatalf("re-cap = %d/%d, want 2800/2800", a, b)
+	}
+	s.ForceCap(0)
+	if a, b := s.EffectiveFreq(0), s.EffectiveFreq(1); a != 4000 || b != 3900 {
+		t.Fatalf("second release = %d/%d, want 4000/3900", a, b)
+	}
+}

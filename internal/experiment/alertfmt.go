@@ -1,0 +1,27 @@
+package experiment
+
+import (
+	"fmt"
+
+	"smartoclock/internal/alert"
+)
+
+// FormatAlerts renders fired alert episodes as a report table, in the
+// deterministic order alert.Eval produced them.
+func FormatAlerts(alerts []alert.Alert) *Table {
+	tbl := &Table{
+		Caption: "Alerts: risk rules evaluated over the recorded series",
+		Headers: []string{"Rule", "Severity", "Series", "From", "Duration", "Peak", "Limit"},
+	}
+	if len(alerts) == 0 {
+		tbl.AddRow("(none fired)", "", "", "", "", "", "")
+		return tbl
+	}
+	for i := range alerts {
+		a := &alerts[i]
+		tbl.AddRow(a.Rule, string(a.Severity), a.Series,
+			a.From.UTC().Format("15:04:05"), a.Duration().String(),
+			fmt.Sprintf("%.4g", a.Peak), fmt.Sprintf("%.4g", a.Limit))
+	}
+	return tbl
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"smartoclock/internal/agent"
+	"smartoclock/internal/alert"
 	"smartoclock/internal/chaos"
 	"smartoclock/internal/cluster"
 	"smartoclock/internal/core"
@@ -71,6 +72,14 @@ type ChaosConfig struct {
 	// the invariant fires — the enforcement-latency window within which
 	// warnings and prioritized capping must restore safety.
 	EnforcementGrace time.Duration
+
+	// RecordEvery samples the registry into per-interval time series at
+	// this sim-time cadence; the recording also feeds the default alert
+	// rules after the run. Zero disables recording (and alerting).
+	RecordEvery time.Duration
+	// TraceOnly restricts the event trace to these components; empty
+	// records everything.
+	TraceOnly []obs.Component
 }
 
 // DefaultChaosConfig returns the profile used by `socsim -chaos` and the
@@ -99,6 +108,7 @@ func DefaultChaosConfig() ChaosConfig {
 		OCBudgetFraction: 0.25,
 		RackLimitScale:   0.90,
 		EnforcementGrace: 15 * time.Second,
+		RecordEvery:      30 * time.Second,
 	}
 }
 
@@ -171,6 +181,10 @@ type ChaosResult struct {
 	// and the trace is already in emission order.
 	Metrics *metrics.Snapshot
 	Trace   *obs.Tracer
+	// Series is the continuous recording (nil when RecordEvery is zero);
+	// Alerts are the default risk rules evaluated over it after the run.
+	Series *metrics.Recording
+	Alerts []alert.Alert
 }
 
 // chaosServer bundles one server's durable and volatile control state.
@@ -220,8 +234,12 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	// discrete-event engine, so telemetry costs nothing measurable and the
 	// trace documents the fault story tick by tick.
 	reg := metrics.NewRegistry()
-	tracer := obs.New()
+	tracer := newShardTracer(cfg.TraceOnly)
 	tr.Instrument(reg, tracer)
+	var recorder *metrics.Recorder
+	if cfg.RecordEvery > 0 {
+		recorder = metrics.NewRecorder(reg, cfg.Start, cfg.RecordEvery)
+	}
 
 	// --- Servers and workload ---------------------------------------------
 	// Each server hosts one latency-critical VM spanning half its cores;
@@ -495,6 +513,11 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		}
 		rack.Tick(now)
 		checker.Check(now)
+		// The callback fires at Start+k*Tick, so `now` is already the
+		// tick's end boundary.
+		if recorder != nil {
+			recorder.Tick(now)
+		}
 	})
 
 	eng.Run(end)
@@ -512,6 +535,10 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	res.Err = checker.Err()
 	res.Metrics = reg.Snapshot()
 	res.Trace = tracer
+	if recorder != nil {
+		res.Series = recorder.Recording()
+		res.Alerts = alert.Eval(res.Series, alert.DefaultRules(), tracer)
+	}
 	return res, nil
 }
 
@@ -532,5 +559,6 @@ func (r *ChaosResult) Format() string {
 	tbl.AddRow("rack warnings / cap events", fmt.Sprintf("%d / %d", r.Warnings, r.CapEvents))
 	tbl.AddRow("invariant checks", r.InvariantChecks)
 	tbl.AddRow("invariant violations", len(r.Violations))
+	tbl.AddRow("alerts fired", len(r.Alerts))
 	return tbl.Format()
 }

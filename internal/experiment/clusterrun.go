@@ -102,6 +102,12 @@ type ClusterConfig struct {
 	// returns the frozen snapshot and trace in ClusterResult. Every run
 	// carries a system label so sweep results merge without collisions.
 	Observe bool
+	// RecordEvery, when positive and Observe is set, samples the registry
+	// into per-interval time series at this sim-time cadence.
+	RecordEvery time.Duration
+	// TraceOnly restricts the event trace to these components; empty
+	// records everything.
+	TraceOnly []obs.Component
 }
 
 // DefaultClusterConfig mirrors the paper's testbed: 36 overclockable
@@ -215,9 +221,11 @@ type ClusterResult struct {
 	// MissedTickFrac is the fraction of measured ticks with at least one
 	// SLO violation anywhere.
 	MissedTickFrac float64
-	// Metrics and Trace are set when ClusterConfig.Observe is true.
+	// Metrics and Trace are set when ClusterConfig.Observe is true; Series
+	// additionally requires RecordEvery.
 	Metrics *metrics.Snapshot
 	Trace   *obs.Tracer
+	Series  *metrics.Recording
 }
 
 // RunCluster executes the 36-server emulation for one system.
@@ -235,11 +243,15 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	// the system label so sweep snapshots merge without identity collisions.
 	var reg *metrics.Registry
 	var tracer *obs.Tracer
+	var recorder *metrics.Recorder
 	var sysLabels []metrics.Label
 	if cfg.Observe {
 		reg = metrics.NewRegistry()
-		tracer = obs.New()
+		tracer = newShardTracer(cfg.TraceOnly)
 		sysLabels = []metrics.Label{metrics.L("system", cfg.System.String())}
+		if cfg.RecordEvery > 0 {
+			recorder = metrics.NewRecorder(reg, cfg.Start, cfg.RecordEvery)
+		}
 	}
 
 	// --- Servers -----------------------------------------------------------
@@ -681,6 +693,11 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 			}
 			replicaTicks++
 		}
+
+		// 5. Telemetry recording at the tick's end boundary.
+		if recorder != nil {
+			recorder.Tick(now.Add(cfg.Tick))
+		}
 	}
 
 	// --- Aggregate --------------------------------------------------------------
@@ -756,6 +773,9 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	if reg != nil {
 		res.Metrics = reg.Snapshot()
 		res.Trace = tracer
+		if recorder != nil {
+			res.Series = recorder.Recording()
+		}
 	}
 	return res, nil
 }

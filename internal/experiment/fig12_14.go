@@ -16,6 +16,7 @@ import (
 func MergeClusterObservations(systems []ClusterSystem, results map[ClusterSystem]*ClusterResult) *FleetObservation {
 	snaps := make([]*metrics.Snapshot, 0, len(systems))
 	tracers := make([]*obs.Tracer, 0, len(systems))
+	recs := make([]*metrics.Recording, 0, len(systems))
 	for _, sys := range systems {
 		r := results[sys]
 		if r == nil || r.Metrics == nil {
@@ -23,11 +24,16 @@ func MergeClusterObservations(systems []ClusterSystem, results map[ClusterSystem
 		}
 		snaps = append(snaps, r.Metrics)
 		tracers = append(tracers, r.Trace)
+		recs = append(recs, r.Series)
 	}
 	if len(snaps) == 0 {
 		return nil
 	}
-	return &FleetObservation{Metrics: metrics.Merge(snaps...), Trace: obs.Concat(tracers...)}
+	return &FleetObservation{
+		Metrics: metrics.Merge(snaps...),
+		Trace:   obs.Concat(tracers...),
+		Series:  metrics.MergeRecordings(recs...),
+	}
 }
 
 // runClusterSweep executes one RunCluster per system concurrently (bounded

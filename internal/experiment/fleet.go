@@ -59,6 +59,14 @@ type FleetSimConfig struct {
 	// count. Off by default — the uninstrumented hot path pays only nil
 	// checks.
 	Observe bool
+	// RecordEvery, when positive and Observe is set, additionally samples
+	// every shard's registry into per-interval time series at this sim-time
+	// cadence. Shard recordings merge in shard-index order, so recorded
+	// series are byte-identical across worker counts like snapshots are.
+	RecordEvery time.Duration
+	// TraceOnly restricts the event trace to these components (see
+	// obs.NewFiltered); empty records everything.
+	TraceOnly []obs.Component
 }
 
 // DefaultFleetSimConfig returns a configuration sized to finish in seconds
@@ -364,11 +372,23 @@ func (m *rackMetrics) accumulate(other rackMetrics) {
 }
 
 // FleetObservation bundles the telemetry of an observed fleet run: the
-// merged metrics snapshot and the concatenated event trace, both
-// byte-deterministic for a given seed regardless of worker count.
+// merged metrics snapshot, the concatenated event trace and — when
+// recording was enabled — the merged per-interval time series. All three
+// are byte-deterministic for a given seed regardless of worker count.
 type FleetObservation struct {
 	Metrics *metrics.Snapshot
 	Trace   *obs.Tracer
+	// Series holds the recorded time series; nil unless RecordEvery was set.
+	Series *metrics.Recording
+}
+
+// newShardTracer builds the tracer for one observed shard, honoring the
+// config's component filter.
+func newShardTracer(only []obs.Component) *obs.Tracer {
+	if len(only) > 0 {
+		return obs.NewFiltered(only...)
+	}
+	return obs.New()
 }
 
 // rackRun simulates one rack under one system for the evaluation window
@@ -376,7 +396,7 @@ type FleetObservation struct {
 // arguments — no shared state, no random draws — which is what makes the
 // rack the unit of parallel sharding.
 func rackRun(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConfig) rackMetrics {
-	m, _, _ := rackRunObserved(rt, sys, cfg, "")
+	m, _, _, _ := rackRunObserved(rt, sys, cfg, "")
 	return m
 }
 
@@ -386,7 +406,7 @@ func rackRun(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConfig) rack
 // snapshot the caller merges in shard-index order. class labels the shard's
 // cluster class — rack names repeat across the per-class mini-fleets, so
 // class+system+rack is the unique series identity.
-func rackRunObserved(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConfig, class string) (rackMetrics, *metrics.Snapshot, *obs.Tracer) {
+func rackRunObserved(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConfig, class string) (rackMetrics, *metrics.Snapshot, *obs.Tracer, *metrics.Recording) {
 	var requests, successes, penaltyN, perfN int
 	var penaltySum, perfSum float64
 	var reg *metrics.Registry
@@ -394,7 +414,7 @@ func rackRunObserved(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConf
 	var shardLabels []metrics.Label
 	if cfg.Observe {
 		reg = metrics.NewRegistry()
-		tracer = obs.New()
+		tracer = newShardTracer(cfg.TraceOnly)
 		shardLabels = []metrics.Label{
 			metrics.L("class", class),
 			metrics.L("system", sys.String()),
@@ -402,6 +422,10 @@ func rackRunObserved(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConf
 	}
 	evalStart := fleetStart.Add(time.Duration(cfg.TrainDays) * 24 * time.Hour)
 	ticks := cfg.EvalDays * int(24*time.Hour/cfg.Step)
+	var recorder *metrics.Recorder
+	if reg != nil && cfg.RecordEvery > 0 {
+		recorder = metrics.NewRecorder(reg, evalStart, cfg.RecordEvery)
+	}
 
 	// Build hosts, templates and demand.
 	hosts := make([]*traceHost, len(rt.Servers))
@@ -587,6 +611,11 @@ func rackRunObserved(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConf
 				}
 			}
 		}
+		// 6. Telemetry recording at the end of the tick: the sampled state
+		// covers everything up to the tick's end boundary.
+		if recorder != nil {
+			recorder.Tick(now.Add(cfg.Step))
+		}
 	}
 	m := rackMetrics{
 		caps: rack.CapEvents(), requests: requests, successes: successes,
@@ -594,9 +623,13 @@ func rackRunObserved(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConf
 		perfSum: perfSum, perfN: perfN,
 	}
 	if reg == nil {
-		return m, nil, nil
+		return m, nil, nil, nil
 	}
-	return m, reg.Snapshot(), tracer
+	var recording *metrics.Recording
+	if recorder != nil {
+		recording = recorder.Recording()
+	}
+	return m, reg.Snapshot(), tracer, recording
 }
 
 // fleetOpts returns the parallel scheduling options for a fleet sim config.
@@ -670,10 +703,11 @@ func runTable1(cfg FleetSimConfig) (*Table, []Table1Row, *FleetObservation, erro
 		m    rackMetrics
 		snap *metrics.Snapshot
 		tr   *obs.Tracer
+		rec  *metrics.Recording
 	}
 	results := parallel.Map(len(shards), fleetOpts(cfg), func(i int) shardResult {
-		m, snap, tr := rackRunObserved(shards[i].rack, shards[i].sys, cfg, shards[i].class.String())
-		return shardResult{m: m, snap: snap, tr: tr}
+		m, snap, tr, rec := rackRunObserved(shards[i].rack, shards[i].sys, cfg, shards[i].class.String())
+		return shardResult{m: m, snap: snap, tr: tr, rec: rec}
 	})
 
 	// Reduce in shard order: shards are grouped by cell, so this fold
@@ -685,13 +719,16 @@ func runTable1(cfg FleetSimConfig) (*Table, []Table1Row, *FleetObservation, erro
 	if cfg.Observe {
 		snaps := make([]*metrics.Snapshot, len(results))
 		tracers := make([]*obs.Tracer, len(results))
+		recs := make([]*metrics.Recording, len(results))
 		for i, r := range results {
 			snaps[i] = r.snap
 			tracers[i] = r.tr
+			recs[i] = r.rec
 		}
 		observation = &FleetObservation{
 			Metrics: metrics.Merge(snaps...),
 			Trace:   obs.Concat(tracers...),
+			Series:  metrics.MergeRecordings(recs...),
 		}
 	}
 	for i, r := range results {

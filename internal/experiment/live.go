@@ -1,0 +1,393 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"smartoclock/internal/agent"
+	"smartoclock/internal/cluster"
+	"smartoclock/internal/core"
+	"smartoclock/internal/lifetime"
+	"smartoclock/internal/machine"
+	"smartoclock/internal/metrics"
+	"smartoclock/internal/obs"
+	"smartoclock/internal/power"
+	"smartoclock/internal/predict"
+	"smartoclock/internal/stats"
+	"smartoclock/internal/timeseries"
+)
+
+// LiveSink receives the periodic publications of a live run — typically a
+// telemetry.Server, but the interface keeps experiment free of HTTP.
+type LiveSink interface {
+	PublishSnapshot(*metrics.Snapshot)
+	PublishEvents([]obs.Event)
+}
+
+// LiveConfig parameterizes the live networked mode: a small rack of
+// sOA-managed servers whose control plane (profile reports, budget pushes,
+// rack notifications) crosses real loopback TCP links, paced in wall-clock
+// time and published to a sink after every tick. Unlike the deterministic
+// experiments this mode exists to be watched while it runs — scraped by
+// Prometheus, tailed over HTTP, profiled with pprof.
+type LiveConfig struct {
+	Seed     int64
+	Start    time.Time
+	Duration time.Duration // simulated time to cover
+	Tick     time.Duration // simulated time per iteration
+	// Pace is the wall-clock sleep between ticks; zero runs flat out.
+	Pace    time.Duration
+	Servers int
+	HW      machine.Config
+	// TraceOnly restricts the event trace to these components; empty
+	// records everything.
+	TraceOnly []obs.Component
+}
+
+// DefaultLiveConfig paces one 5-second control tick per 200 ms of wall
+// clock, so an hour of simulated operation plays back in about a minute.
+func DefaultLiveConfig() LiveConfig {
+	return LiveConfig{
+		Seed:     1,
+		Start:    time.Date(2023, 4, 10, 9, 0, 0, 0, time.UTC),
+		Duration: time.Hour,
+		Tick:     5 * time.Second,
+		Pace:     200 * time.Millisecond,
+		Servers:  4,
+		HW:       machine.DefaultConfig(),
+	}
+}
+
+// Validate reports whether the configuration is runnable.
+func (c LiveConfig) Validate() error {
+	switch {
+	case c.Tick <= 0 || c.Duration < c.Tick:
+		return fmt.Errorf("experiment: bad live tick/duration %v/%v", c.Tick, c.Duration)
+	case c.Servers <= 0:
+		return fmt.Errorf("experiment: live mode needs servers, got %d", c.Servers)
+	}
+	return nil
+}
+
+// LiveResult aggregates one live run.
+type LiveResult struct {
+	Ticks     int
+	Requests  int
+	Granted   int
+	CapEvents int
+	Warnings  int
+	Metrics   *metrics.Snapshot
+	Trace     *obs.Tracer
+}
+
+// Format renders the live run as a report table.
+func (r *LiveResult) Format() string {
+	tbl := &Table{
+		Caption: "Live: TCP control plane with HTTP telemetry",
+		Headers: []string{"Metric", "Value"},
+	}
+	tbl.AddRow("ticks", r.Ticks)
+	tbl.AddRow("oc requests (granted)", fmt.Sprintf("%d (%d)", r.Requests, r.Granted))
+	tbl.AddRow("rack warnings / cap events", fmt.Sprintf("%d / %d", r.Warnings, r.CapEvents))
+	return tbl.Format()
+}
+
+// RunLive executes the live networked mode. The world is a scaled-down
+// chaos rig without the faults: each server hosts one latency-critical VM
+// whose overclock demand arrives in phase-shifted square waves, the rack
+// limit leaves headroom for only some servers to overclock at once, and
+// every control message — sOA profile reports to the gOA, gOA budget
+// pushes back, rack warning/cap notifications — travels a real TCP link
+// between two loopback nodes, so the transport histograms on the scrape
+// endpoint carry genuine wire latencies and frame sizes.
+//
+// Concurrency: simulation state is mutated only by this goroutine. TCP
+// read loops never touch it — inbound messages land in channel inboxes
+// drained at the top of each tick — and all metric updates from both
+// sides go through the shared metrics.Locked, which is also what the HTTP
+// scraper snapshots.
+func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lk := metrics.NewLocked()
+	tracer := newShardTracer(cfg.TraceOnly)
+	maxOC := cfg.HW.MaxOCMHz
+
+	// --- Two nodes on loopback: the gOA's and the servers' ----------------
+	goaNode, err := agent.NewTCPNode("goa-node", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer goaNode.Close()
+	soaNode, err := agent.NewTCPNode("soa-node", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer soaNode.Close()
+	goaNode.Instrument(lk, metrics.L("node", "goa"))
+	soaNode.Instrument(lk, metrics.L("node", "soa"))
+
+	// --- Servers, workload, rack, gOA --------------------------------------
+	type liveServer struct {
+		srv     *cluster.Server
+		agentID string
+		soa     *core.SOA
+		rng     *rand.Rand
+	}
+	servers := make([]*liveServer, cfg.Servers)
+	bcfg := lifetime.BudgetConfig{Epoch: time.Hour, Fraction: 0.25, CarryOver: true, MaxCarryOver: 1}
+	for i := range servers {
+		s := cluster.NewServer(fmt.Sprintf("lv-%02d", i), cfg.HW, 0)
+		servers[i] = &liveServer{
+			srv:     s,
+			agentID: "soa/" + s.Name(),
+			rng:     rand.New(rand.NewSource(cfg.Seed + int64(i))),
+		}
+	}
+	vmCores := make([]int, cfg.HW.Cores/2)
+	for i := range vmCores {
+		vmCores[i] = i
+	}
+	demandPeriod := 20 * time.Minute
+	demandAt := func(i int, now time.Time) bool {
+		phase := time.Duration(i) * demandPeriod / time.Duration(cfg.Servers)
+		into := (now.Sub(cfg.Start) + phase) % demandPeriod
+		return into < 9*time.Minute
+	}
+	setUtil := func(ls *liveServer, i int, now time.Time) {
+		base := 0.35 + 0.05*ls.rng.Float64()
+		hot := base
+		if demandAt(i, now) {
+			hot = 0.80 + 0.10*ls.rng.Float64()
+		}
+		for c := 0; c < ls.srv.NumCores(); c++ {
+			if c < len(vmCores) {
+				ls.srv.SetCoreUtil(c, hot)
+			} else {
+				ls.srv.SetCoreUtil(c, base)
+			}
+		}
+	}
+
+	est := 0.0
+	members := make([]power.Server, 0, cfg.Servers)
+	for _, ls := range servers {
+		setUtil(ls, 0, cfg.Start)
+		est += ls.srv.Power()
+		members = append(members, ls.srv)
+	}
+	fullOC := float64(cfg.Servers) * servers[0].srv.OCDeltaWatts(len(vmCores), maxOC, 0.9)
+	limit := 0.9 * (est + 0.5*fullOC)
+	rack := power.NewRack(power.DefaultRackConfig("rack-live", limit), members...)
+	goa := core.NewGOA("rack-live", limit)
+	evenShare := limit / float64(cfg.Servers)
+
+	soaCfg := core.DefaultSOAConfig()
+	soaCfg.ProfileStep = time.Minute
+	soaCfg.ExploreConfirm = 30 * time.Second
+	soaCfg.ExploitTime = 5 * time.Minute
+	soaCfg.DefaultOCHorizon = 5 * time.Minute
+
+	// Instrumentation resolves handles into the shared registry under the
+	// lock; the simulation later updates them under the same lock.
+	lk.Do(func(reg *metrics.Registry) {
+		rack.Instrument(reg, tracer)
+		goa.Instrument(reg, tracer)
+		for _, ls := range servers {
+			ls.srv.Instrument(reg)
+			ls.soa = core.NewSOA(soaCfg, ls.srv, lifetime.NewCoreBudgets(bcfg, ls.srv.NumCores(), cfg.Start), evenShare, cfg.Start)
+			ls.soa.Instrument(reg, tracer)
+		}
+	})
+
+	// --- Inboxes: TCP read loops hand off, the main loop applies ----------
+	goaInbox := make(chan agent.Message, 256)
+	soaInbox := make(chan agent.Message, 256)
+	goaNode.Register("goa", func(m agent.Message) {
+		select {
+		case goaInbox <- m:
+		default: // full inbox sheds load rather than blocking the link
+		}
+	})
+	for _, ls := range servers {
+		soaNode.Register(ls.agentID, func(m agent.Message) {
+			select {
+			case soaInbox <- m:
+			default:
+			}
+		})
+		goaNode.AddPeer(ls.agentID, soaNode.Addr())
+	}
+	soaNode.AddPeer("goa", goaNode.Addr())
+
+	res := &LiveResult{}
+	byAgent := make(map[string]*liveServer, len(servers))
+	for _, ls := range servers {
+		byAgent[ls.agentID] = ls
+	}
+
+	// Rack events queue locally during Tick (which runs under the lock) and
+	// are flushed over TCP afterwards, outside it.
+	var pendingRack []power.Event
+	rack.Subscribe(func(ev power.Event) { pendingRack = append(pendingRack, ev) })
+
+	// --- Main loop ----------------------------------------------------------
+	end := cfg.Start.Add(cfg.Duration)
+	published := 0 // events already handed to the sink
+	profileEvery, budgetEvery := 2*time.Minute, time.Minute
+	nextProfile, nextBudget := cfg.Start.Add(profileEvery), cfg.Start.Add(budgetEvery)
+	for now := cfg.Start.Add(cfg.Tick); !now.After(end); now = now.Add(cfg.Tick) {
+		res.Ticks++
+
+		// 1. Drain inboxes and apply under the lock.
+		applyMsg := func(m agent.Message) {
+			switch m.Type {
+			case "goa.budget":
+				ls := byAgent[m.To]
+				b, err := agent.Decode[budgetMsg](m)
+				if ls == nil || err != nil || b.Watts <= 0 {
+					return
+				}
+				ls.soa.SetStaticBudget(b.Watts, true)
+			case "rack.event":
+				ls := byAgent[m.To]
+				ev, err := agent.Decode[rackEventMsg](m)
+				if ls == nil || err != nil {
+					return
+				}
+				ls.soa.OnRackEvent(now, power.Event{
+					Kind: power.EventKind(ev.Kind), Time: now,
+					Rack: "rack-live", Power: ev.Power, Limit: ev.Limit,
+				})
+			case "soa.profile":
+				p, err := agent.Decode[profileMsg](m)
+				if err != nil {
+					return
+				}
+				goa.SetProfile(p.Server, core.ServerProfile{
+					Power: timeseries.FlatWeek(p.MedianWatts, time.Hour),
+					OC: &predict.OCTemplate{
+						Requested: timeseries.FlatWeek(p.Requested, time.Hour),
+						Granted:   timeseries.FlatWeek(p.Granted, time.Hour),
+					},
+					OCCoreCost: p.CoreCost,
+				})
+			}
+		}
+		lk.Do(func(*metrics.Registry) {
+			for drained := false; !drained; {
+				select {
+				case m := <-goaInbox:
+					applyMsg(m)
+				case m := <-soaInbox:
+					applyMsg(m)
+				default:
+					drained = true
+				}
+			}
+
+			// 2. Tick the world.
+			for i, ls := range servers {
+				setUtil(ls, i, now)
+				want := demandAt(i, now)
+				_, active := ls.soa.Sessions()["vm"]
+				if want && !active {
+					res.Requests++
+					d := ls.soa.Request(now, core.Request{
+						VM: "vm", Cores: len(vmCores), TargetMHz: maxOC,
+						Priority: core.PriorityMetric, PreferredCores: vmCores,
+					})
+					if d.Granted {
+						res.Granted++
+					}
+				} else if !want && active {
+					ls.soa.Stop(now, "vm")
+				}
+				ls.soa.Tick(now)
+			}
+			for _, ls := range servers {
+				ls.srv.Advance(cfg.Tick)
+			}
+			rack.Tick(now)
+		})
+
+		// 3. Control-plane traffic over TCP, outside the lock (the
+		// transport instrumentation takes it per message).
+		for _, ev := range pendingRack {
+			payload := rackEventMsg{Kind: int(ev.Kind), Power: ev.Power, Limit: ev.Limit}
+			for _, ls := range servers {
+				if msg, err := agent.NewMessage("rack.event", "rack", ls.agentID, payload); err == nil {
+					_ = goaNode.Send(msg)
+				}
+			}
+		}
+		pendingRack = pendingRack[:0]
+		if !now.Before(nextProfile) {
+			nextProfile = nextProfile.Add(profileEvery)
+			for _, ls := range servers {
+				var payload profileMsg
+				lk.Do(func(*metrics.Registry) {
+					window := lastSamples(ls.soa.PowerRecord().Values, 10)
+					med := stats.Median(window)
+					if len(window) == 0 {
+						med = ls.srv.Power()
+					}
+					granted := float64(ls.soa.ActiveOCCores())
+					requested := ls.soa.RecentRequestedCores(5)
+					if granted > requested {
+						requested = granted
+					}
+					payload = profileMsg{
+						Server: ls.srv.Name(), MedianWatts: med,
+						Requested: requested, Granted: granted,
+						CoreCost: ls.srv.Machine().Config().OCCoreCost(),
+					}
+				})
+				if msg, err := agent.NewMessage("soa.profile", ls.agentID, "goa", payload); err == nil {
+					_ = soaNode.Send(msg)
+				}
+			}
+		}
+		if !now.Before(nextBudget) {
+			nextBudget = nextBudget.Add(budgetEvery)
+			var budgets map[string]float64
+			lk.Do(func(*metrics.Registry) {
+				budgets = goa.BudgetsAt(now)
+				for _, ls := range servers {
+					if b, ok := budgets[ls.srv.Name()]; ok && b > 0 {
+						goa.TraceBroadcast(now, ls.srv.Name(), b)
+					}
+				}
+			})
+			for _, ls := range servers {
+				b, ok := budgets[ls.srv.Name()]
+				if !ok || b <= 0 {
+					continue
+				}
+				if msg, err := agent.NewMessage("goa.budget", "goa", ls.agentID, budgetMsg{Watts: b}); err == nil {
+					_ = goaNode.Send(msg)
+				}
+			}
+		}
+
+		// 4. Publish to the sink and pace.
+		if sink != nil {
+			sink.PublishSnapshot(lk.Snapshot())
+			if evs := tracer.Events(); len(evs) > published {
+				sink.PublishEvents(evs[published:])
+				published = len(evs)
+			}
+		}
+		if cfg.Pace > 0 {
+			time.Sleep(cfg.Pace)
+		}
+	}
+
+	res.CapEvents = rack.CapEvents()
+	res.Warnings = rack.Warnings()
+	res.Metrics = lk.Snapshot()
+	res.Trace = tracer
+	return res, nil
+}

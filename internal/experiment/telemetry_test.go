@@ -1,0 +1,239 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"smartoclock/internal/metrics"
+	"smartoclock/internal/obs"
+)
+
+// table1Series runs the observed Table I at smoke scale with continuous
+// recording enabled and renders the recorded series as CSV, which captures
+// every interval sample — rates, levels and quantiles — at full float
+// precision.
+func table1Series(t *testing.T, seed int64, workers int, shuffle int64) string {
+	t.Helper()
+	cfg := smokeFleetCfg()
+	cfg.Seed = seed
+	cfg.Workers = workers
+	cfg.ShuffleShards = shuffle
+	cfg.RecordEvery = time.Hour
+	_, _, observation, err := RunTable1Observed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observation == nil || observation.Series == nil {
+		t.Fatal("observed run returned no recording")
+	}
+	var b strings.Builder
+	if err := observation.Series.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestRecordedSeriesEquivalenceAcrossWorkers extends the worker-count
+// contract to continuous recording: the merged per-interval series must be
+// byte-identical whether the fleet ran serially, across 8 workers, or with
+// shuffled shard dispatch. This is what makes -series-out artifacts
+// comparable across machines.
+func TestRecordedSeriesEquivalenceAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet simulations")
+	}
+	for _, seed := range []int64{1, 2} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ref := table1Series(t, seed, 1, 0)
+			if !strings.Contains(ref, "soa_requests_total") {
+				t.Fatalf("recording missing expected series:\n%.2000s", ref)
+			}
+			for _, workers := range []int{2, 8} {
+				if got := table1Series(t, seed, workers, 0); got != ref {
+					t.Errorf("recording at workers=%d diverges from workers=1 (len %d vs %d)",
+						workers, len(got), len(ref))
+				}
+			}
+			if got := table1Series(t, seed, 8, 54321); got != ref {
+				t.Error("recording with shuffled dispatch diverges from serial order")
+			}
+		})
+	}
+}
+
+// TestRecordingZeroObserverEffect pins the observer effect of the recorder
+// at zero twice over: enabling recording must not change a byte of the
+// experiment's scientific output, nor of the end-of-run snapshot and trace
+// the observed run already produced.
+func TestRecordingZeroObserverEffect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet simulations")
+	}
+	cfg := smokeFleetCfg()
+	plain, _, err := RunTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, _, obsPlain, err := RunTable1Observed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.RecordEvery = time.Hour
+	recorded, _, obsRec, err := RunTable1Observed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Format() != recorded.Format() {
+		t.Errorf("recording changed experiment results:\n--- plain ---\n%s\n--- recorded ---\n%s",
+			plain.Format(), recorded.Format())
+	}
+	if observed.Format() != recorded.Format() {
+		t.Error("recording changed the observed run's table")
+	}
+	render := func(o *FleetObservation) string {
+		var b strings.Builder
+		if err := o.Metrics.WriteProm(&b); err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString("--- trace ---\n")
+		if err := o.Trace.WriteJSONL(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if render(obsPlain) != render(obsRec) {
+		t.Error("recording changed the end-of-run snapshot or trace")
+	}
+	if obsPlain.Series != nil {
+		t.Error("recording disabled but Series non-nil")
+	}
+	if obsRec.Series == nil || obsRec.Series.Intervals() == 0 {
+		t.Fatal("recording enabled but Series empty")
+	}
+}
+
+// TestClusterRecordedSeries exercises the recording path of the cluster
+// emulation: series appear, byte-stable across repeat runs, without
+// perturbing the run's scientific results.
+func TestClusterRecordedSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster emulation")
+	}
+	cfg := smokeClusterCfg(SysSmartOClock)
+	plain, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Observe = true
+	cfg.RecordEvery = time.Minute
+	run := func() (*ClusterResult, string) {
+		res, err := RunCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Series == nil || res.Series.Intervals() == 0 {
+			t.Fatal("cluster run recorded no series")
+		}
+		var b strings.Builder
+		if err := res.Series.WriteCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		return res, b.String()
+	}
+	res1, csv1 := run()
+	_, csv2 := run()
+	if csv1 != csv2 {
+		t.Error("recorded series differ across identical runs")
+	}
+	if plain.TotalEnergy != res1.TotalEnergy || plain.CapEvents != res1.CapEvents ||
+		plain.OCRequests != res1.OCRequests {
+		t.Errorf("recording changed results: %+v vs %+v", plain, res1)
+	}
+	if !strings.Contains(csv1, "rack_power_watts") {
+		t.Errorf("recording missing rack power series:\n%.1000s", csv1)
+	}
+}
+
+// TestChaosAlertsGolden pins the alert output of a shortened chaos run:
+// the default rule set must fire deterministically (the run's rack limit
+// makes warning bursts part of normal operation), and both the summarized
+// table and the alert events on the trace are golden-checked byte for
+// byte. Regenerate with -update.
+func TestChaosAlertsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run")
+	}
+	cfg := DefaultChaosConfig()
+	cfg.Duration = 45 * time.Minute
+	cfg.GOAOutageStart = 10 * time.Minute
+	cfg.GOAOutage = 10 * time.Minute
+	cfg.SOACrashes = 3
+	res, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Alerts) == 0 {
+		t.Fatal("default rules fired no alerts on the chaos run")
+	}
+	var b strings.Builder
+	b.WriteString(FormatAlerts(res.Alerts).Format())
+	b.WriteString("--- events ---\n")
+	var alertEvents []obs.Event
+	for _, ev := range res.Trace.Events() {
+		if ev.Component == obs.Alert {
+			alertEvents = append(alertEvents, ev)
+		}
+	}
+	if len(alertEvents) == 0 {
+		t.Fatal("no alert events on the trace")
+	}
+	if err := obs.WriteEventsJSONL(&b, alertEvents); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "chaos_alerts.golden", b.String())
+}
+
+// captureSink counts publications and keeps the latest snapshot.
+type captureSink struct {
+	snaps  int
+	events int
+	last   *metrics.Snapshot
+}
+
+func (c *captureSink) PublishSnapshot(s *metrics.Snapshot) { c.snaps++; c.last = s }
+func (c *captureSink) PublishEvents(evs []obs.Event)       { c.events += len(evs) }
+
+// TestRunLiveSmoke boots the live networked mode flat out on loopback: the
+// control plane must actually cross the TCP links (transport series appear
+// on both nodes) and the sink must receive one snapshot per tick.
+func TestRunLiveSmoke(t *testing.T) {
+	cfg := DefaultLiveConfig()
+	cfg.Duration = 10 * time.Minute
+	cfg.Pace = 0
+	cfg.Servers = 2
+	sink := &captureSink{}
+	res, err := RunLive(cfg, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTicks := int(cfg.Duration / cfg.Tick)
+	if res.Ticks != wantTicks || sink.snaps != wantTicks {
+		t.Fatalf("ticks/snapshots = %d/%d, want %d", res.Ticks, sink.snaps, wantTicks)
+	}
+	if res.Requests == 0 {
+		t.Fatal("live run made no overclock requests")
+	}
+	for _, node := range []string{"goa", "soa"} {
+		s := sink.last.Find("transport_sends_total",
+			map[string]string{"transport": "tcp", "node": node})
+		if s == nil || s.Value == 0 {
+			t.Fatalf("no TCP sends recorded on node %s", node)
+		}
+	}
+	if sink.events == 0 {
+		t.Fatal("no trace events published")
+	}
+}

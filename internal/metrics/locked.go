@@ -1,0 +1,52 @@
+package metrics
+
+import "sync"
+
+// Locked wraps a Registry in a mutex for the live telemetry plane, where
+// transport goroutines and the HTTP scraper touch the same instruments.
+// The deterministic experiments never need this — their registries are
+// single-goroutine by construction — so the lock lives in a wrapper rather
+// than on every Inc.
+//
+// Usage pattern: hold the lock across a batch of updates
+//
+//	reg := lk.Lock()
+//	reg.Counter("transport_sends_total").Inc()
+//	lk.Unlock()
+//
+// and scrape with Snapshot(), which locks internally.
+type Locked struct {
+	mu  sync.Mutex
+	reg *Registry
+}
+
+// NewLocked returns a Locked wrapper around a fresh registry.
+func NewLocked() *Locked {
+	return &Locked{reg: NewRegistry()}
+}
+
+// Lock acquires the mutex and returns the underlying registry. The caller
+// must call Unlock when done and must not retain the registry (or handles
+// resolved from it for unlocked use) past the Unlock.
+func (l *Locked) Lock() *Registry {
+	l.mu.Lock()
+	return l.reg
+}
+
+// Unlock releases the mutex.
+func (l *Locked) Unlock() { l.mu.Unlock() }
+
+// Snapshot freezes the registry under the lock.
+func (l *Locked) Snapshot() *Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reg.Snapshot()
+}
+
+// Do runs fn with the registry held under the lock — convenient for
+// instrumentation sites that update several handles at once.
+func (l *Locked) Do(fn func(*Registry)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fn(l.reg)
+}

@@ -123,6 +123,10 @@ var (
 	WattBuckets = []float64{100, 200, 400, 800, 1600, 3200, 6400, 12800}
 	// CoreBuckets spans per-request/overclocked core counts.
 	CoreBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
+	// ByteBuckets spans message and frame sizes on the agent transports.
+	ByteBuckets = []float64{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+	// LatencyBuckets spans RPC round-trip and delivery times in seconds.
+	LatencyBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1}
 )
 
 // instrument is one registered series.

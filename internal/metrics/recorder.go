@@ -1,0 +1,455 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"smartoclock/internal/timeseries"
+)
+
+// This file is the continuous half of the metrics layer: where Snapshot
+// freezes a registry once at the end of a run, a Recorder samples it at a
+// fixed simulation-time interval and accumulates one time series per metric
+// series. The same determinism contract applies: sampling happens on the
+// single simulation goroutine at sim-time boundaries, series are keyed and
+// sorted by canonical identity, and per-shard recordings merge in
+// shard-index order, so the recorded plane is byte-identical for any worker
+// count.
+
+// RecordedSeries is one metric series over the recording window.
+//
+// The per-interval meaning of Samples depends on the instrument:
+//   - counter: the per-second rate over the interval (value delta divided
+//     by the interval length) — the temporal view of a total;
+//   - gauge: the level sampled at the interval's end;
+//   - histogram: the per-second observation rate (count delta / interval).
+//
+// Histograms additionally keep per-interval deltas of every cumulative
+// bucket plus the observation sum, which is what lets quantile series be
+// computed after merging: bucket deltas sum exactly across shards, where
+// pre-computed quantiles would not.
+type RecordedSeries struct {
+	Name   string            `json:"name"`
+	Type   string            `json:"type"`
+	Labels map[string]string `json:"labels,omitempty"`
+
+	Samples []float64 `json:"samples"`
+
+	// Histogram-only fields. Buckets[i][j] is the interval-i delta of the
+	// cumulative count at upper bound Uppers[j]; Sums[i] is the interval-i
+	// delta of the observation sum. CountDeltas[i] is the raw (undivided)
+	// observation count of interval i.
+	Uppers      []float64  `json:"uppers,omitempty"`
+	Buckets     [][]uint64 `json:"bucket_deltas,omitempty"`
+	Sums        []float64  `json:"sum_deltas,omitempty"`
+	CountDeltas []uint64   `json:"count_deltas,omitempty"`
+}
+
+// id reconstructs the canonical sort identity of the recorded series.
+func (s *RecordedSeries) id() string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ls := make([]Label, len(keys))
+	for i, k := range keys {
+		ls[i] = Label{Key: k, Value: s.Labels[k]}
+	}
+	return seriesID(s.Name, ls)
+}
+
+// ID renders the canonical "name{k=v,...}" identity of the series.
+func (s *RecordedSeries) ID() string { return s.id() }
+
+// Quantile returns the per-interval q-quantile series of a recorded
+// histogram, estimated Prometheus-style: linear interpolation inside the
+// bucket containing the target rank, with the first bucket anchored at zero
+// and ranks beyond the last finite bucket clamped to its upper bound.
+// Intervals with no observations yield 0. Returns nil for non-histograms.
+func (s *RecordedSeries) Quantile(q float64) []float64 {
+	if s.Type != "histogram" {
+		return nil
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	out := make([]float64, len(s.Buckets))
+	for i, deltas := range s.Buckets {
+		total := s.CountDeltas[i]
+		if total == 0 {
+			continue
+		}
+		rank := q * float64(total)
+		var prevCum uint64
+		prevUB := 0.0
+		found := false
+		for j, cum := range deltas {
+			if float64(cum) >= rank {
+				inBucket := cum - prevCum
+				lo, hi := prevUB, s.Uppers[j]
+				if inBucket == 0 {
+					out[i] = hi
+				} else {
+					out[i] = lo + (hi-lo)*(rank-float64(prevCum))/float64(inBucket)
+				}
+				found = true
+				break
+			}
+			prevCum = cum
+			prevUB = s.Uppers[j]
+		}
+		if !found {
+			// Rank falls in the +Inf bucket: clamp to the last finite bound.
+			out[i] = s.Uppers[len(s.Uppers)-1]
+		}
+	}
+	return out
+}
+
+// Recording is a set of recorded series over a shared fixed-interval
+// timeline. Series are sorted by canonical identity and every Samples slice
+// has the same length, so two recordings of the same run are byte-identical
+// however they were sharded.
+type Recording struct {
+	Start  time.Time        `json:"start"`
+	Step   time.Duration    `json:"step"`
+	Series []RecordedSeries `json:"series"`
+}
+
+// Intervals returns the number of recorded intervals.
+func (r *Recording) Intervals() int {
+	if len(r.Series) == 0 {
+		return 0
+	}
+	return len(r.Series[0].Samples)
+}
+
+// TimeAt returns the start instant of interval i.
+func (r *Recording) TimeAt(i int) time.Time {
+	return r.Start.Add(time.Duration(i) * r.Step)
+}
+
+// Find returns the recorded series with the given name and labels, or nil.
+func (r *Recording) Find(name string, labels map[string]string) *RecordedSeries {
+	want := RecordedSeries{Name: name, Labels: labels}
+	id := want.id()
+	for i := range r.Series {
+		if r.Series[i].id() == id {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// ToSeries converts one recorded series' samples into a timeseries.Series
+// on the recording's timeline.
+func (r *Recording) ToSeries(s *RecordedSeries) *timeseries.Series {
+	vals := make([]float64, len(s.Samples))
+	copy(vals, s.Samples)
+	return timeseries.FromValues(r.Start, r.Step, vals)
+}
+
+// Recorder samples a registry into a Recording. Like the registry it is
+// single-goroutine: each parallel shard owns its own recorder, and the
+// shard recordings are merged afterwards with MergeRecordings.
+type Recorder struct {
+	reg  *Registry
+	rec  *Recording
+	next time.Time
+	prev *Snapshot
+	// index maps series identity to its slot in rec.Series. New series may
+	// appear mid-run (e.g. an agent instrumented after a restart); their
+	// history is backfilled with zeros so every series shares the timeline.
+	index map[string]int
+}
+
+// NewRecorder starts recording reg on a fixed step. The first sample is
+// taken by the first Tick at or after start+step and covers [start,
+// start+step); Tick is designed to be called once per simulation tick with
+// the current sim time.
+func NewRecorder(reg *Registry, start time.Time, step time.Duration) *Recorder {
+	if step <= 0 {
+		panic(fmt.Sprintf("metrics: non-positive recording step %v", step))
+	}
+	return &Recorder{
+		reg:   reg,
+		rec:   &Recording{Start: start, Step: step},
+		next:  start.Add(step),
+		prev:  &Snapshot{},
+		index: make(map[string]int),
+	}
+}
+
+// Tick samples the registry once for every interval boundary at or before
+// now. Call it at the end of each simulation tick; boundaries between calls
+// (a coarse-ticked harness) repeat the state observed at the call.
+func (r *Recorder) Tick(now time.Time) {
+	for !now.Before(r.next) {
+		r.sample()
+		r.next = r.next.Add(r.rec.Step)
+	}
+}
+
+// sample appends one interval to every series.
+func (r *Recorder) sample() {
+	snap := r.reg.Snapshot()
+	n := r.rec.Intervals()
+	stepSecs := r.rec.Step.Seconds()
+
+	prevByID := make(map[string]*Series, len(r.prev.Series))
+	for i := range r.prev.Series {
+		prevByID[r.prev.Series[i].id()] = &r.prev.Series[i]
+	}
+
+	for i := range snap.Series {
+		sr := &snap.Series[i]
+		id := sr.id()
+		slot, ok := r.index[id]
+		if !ok {
+			rs := RecordedSeries{
+				Name: sr.Name, Type: sr.Type, Labels: sr.Labels,
+				Samples: make([]float64, n),
+			}
+			if sr.Type == "histogram" {
+				rs.Uppers = append([]float64(nil), bucketUppers(sr)...)
+				rs.Buckets = make([][]uint64, n)
+				for k := range rs.Buckets {
+					rs.Buckets[k] = make([]uint64, len(rs.Uppers))
+				}
+				rs.Sums = make([]float64, n)
+				rs.CountDeltas = make([]uint64, n)
+			}
+			slot = len(r.rec.Series)
+			r.rec.Series = append(r.rec.Series, rs)
+			r.index[id] = slot
+		}
+		rs := &r.rec.Series[slot]
+		prev := prevByID[id]
+		switch sr.Type {
+		case "counter":
+			base := 0.0
+			if prev != nil {
+				base = prev.Value
+			}
+			rs.Samples = append(rs.Samples, (sr.Value-base)/stepSecs)
+		case "gauge":
+			rs.Samples = append(rs.Samples, sr.Value)
+		case "histogram":
+			var baseCount uint64
+			baseSum := 0.0
+			if prev != nil {
+				baseCount = prev.Count
+				baseSum = prev.Value
+			}
+			countDelta := sr.Count - baseCount
+			rs.Samples = append(rs.Samples, float64(countDelta)/stepSecs)
+			rs.CountDeltas = append(rs.CountDeltas, countDelta)
+			rs.Sums = append(rs.Sums, sr.Value-baseSum)
+			row := make([]uint64, len(rs.Uppers))
+			for j := range rs.Uppers {
+				var b uint64
+				if j < len(sr.Buckets) {
+					b = sr.Buckets[j].Count
+				}
+				if prev != nil && j < len(prev.Buckets) {
+					b -= prev.Buckets[j].Count
+				}
+				row[j] = b
+			}
+			rs.Buckets = append(rs.Buckets, row)
+		}
+	}
+
+	// Series that vanished from the snapshot cannot happen (registries never
+	// drop instruments), so every recorded series either got a new sample
+	// above or was just created; nothing to pad here. Sort order is restored
+	// lazily in Recording().
+	r.prev = snap
+}
+
+// bucketUppers extracts the finite upper bounds of a snapshot histogram.
+func bucketUppers(sr *Series) []float64 {
+	out := make([]float64, len(sr.Buckets))
+	for i, b := range sr.Buckets {
+		out[i] = b.LE
+	}
+	return out
+}
+
+// Recording returns the accumulated recording with series sorted by
+// canonical identity. The returned value shares storage with the recorder;
+// take it once, after the run.
+func (r *Recorder) Recording() *Recording {
+	sort.Slice(r.rec.Series, func(i, j int) bool {
+		return r.rec.Series[i].id() < r.rec.Series[j].id()
+	})
+	// The index is invalidated by the sort; rebuild for any further Ticks.
+	for i := range r.rec.Series {
+		r.index[r.rec.Series[i].id()] = i
+	}
+	return r.rec
+}
+
+// MergeRecordings folds per-shard recordings into one, in argument order:
+// counter and histogram deltas sum sample-wise, gauges take the last
+// shard's level. All recordings must share the same start, step and
+// interval count — they come from shards of one run sampling on the same
+// schedule — and mismatches panic like Snapshot merging does. Nil entries
+// are skipped; merging nothing returns nil.
+func MergeRecordings(recs ...*Recording) *Recording {
+	var out *Recording
+	merged := make(map[string]*RecordedSeries)
+	for _, rec := range recs {
+		if rec == nil {
+			continue
+		}
+		if out == nil {
+			out = &Recording{Start: rec.Start, Step: rec.Step}
+		} else if !rec.Start.Equal(out.Start) || rec.Step != out.Step {
+			panic(fmt.Sprintf("metrics: merge recordings: timeline mismatch %v/%v vs %v/%v",
+				rec.Start, rec.Step, out.Start, out.Step))
+		}
+		for i := range rec.Series {
+			sr := &rec.Series[i]
+			id := sr.id()
+			prev, ok := merged[id]
+			if !ok {
+				cp := *sr
+				cp.Samples = append([]float64(nil), sr.Samples...)
+				cp.Sums = append([]float64(nil), sr.Sums...)
+				cp.CountDeltas = append([]uint64(nil), sr.CountDeltas...)
+				cp.Buckets = make([][]uint64, len(sr.Buckets))
+				for k := range sr.Buckets {
+					cp.Buckets[k] = append([]uint64(nil), sr.Buckets[k]...)
+				}
+				merged[id] = &cp
+				continue
+			}
+			if len(prev.Samples) != len(sr.Samples) {
+				panic(fmt.Sprintf("metrics: merge recordings %s: %d vs %d intervals", id, len(prev.Samples), len(sr.Samples)))
+			}
+			switch sr.Type {
+			case "counter":
+				for k := range prev.Samples {
+					prev.Samples[k] += sr.Samples[k]
+				}
+			case "gauge":
+				copy(prev.Samples, sr.Samples)
+			case "histogram":
+				if len(prev.Uppers) != len(sr.Uppers) {
+					panic(fmt.Sprintf("metrics: merge recordings %s: bucket layout mismatch", id))
+				}
+				for k := range prev.Samples {
+					prev.Samples[k] += sr.Samples[k]
+					prev.Sums[k] += sr.Sums[k]
+					prev.CountDeltas[k] += sr.CountDeltas[k]
+					for j := range prev.Buckets[k] {
+						prev.Buckets[k][j] += sr.Buckets[k][j]
+					}
+				}
+			}
+		}
+	}
+	if out == nil {
+		return nil
+	}
+	ids := make([]string, 0, len(merged))
+	for id := range merged {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out.Series = make([]RecordedSeries, 0, len(ids))
+	for _, id := range ids {
+		out.Series = append(out.Series, *merged[id])
+	}
+	return out
+}
+
+// recordingQuantiles are the quantile series exported for each histogram.
+var recordingQuantiles = []float64{0.5, 0.99}
+
+// WriteCSV writes the recording in long form, one row per (interval,
+// series): interval start (RFC 3339), series identity, sample kind and
+// value. Counters appear as `rate` rows, gauges as `level`, histograms as a
+// `rate` row (observations/second) plus one `p50`/`p99` row each. Output is
+// byte-deterministic: series are sorted and floats use shortest-exact
+// formatting.
+func (r *Recording) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time", "series", "kind", "value"}); err != nil {
+		return err
+	}
+	n := r.Intervals()
+	// Precompute histogram quantiles once per series, not per interval.
+	type qset struct {
+		name string
+		vals []float64
+	}
+	quantiles := make(map[int][]qset)
+	for si := range r.Series {
+		sr := &r.Series[si]
+		if sr.Type != "histogram" {
+			continue
+		}
+		var qs []qset
+		for _, q := range recordingQuantiles {
+			qs = append(qs, qset{
+				name: "p" + strconv.Itoa(int(q*100)),
+				vals: sr.Quantile(q),
+			})
+		}
+		quantiles[si] = qs
+	}
+	for i := 0; i < n; i++ {
+		ts := r.TimeAt(i).UTC().Format(time.RFC3339)
+		for si := range r.Series {
+			sr := &r.Series[si]
+			id := sr.id()
+			kind := "level"
+			if sr.Type != "gauge" {
+				kind = "rate"
+			}
+			if err := cw.Write([]string{ts, id, kind, formatFloat(sr.Samples[i])}); err != nil {
+				return err
+			}
+			for _, qs := range quantiles[si] {
+				if err := cw.Write([]string{ts, id, qs.name, formatFloat(qs.vals[i])}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON writes the recording as indented JSON, suitable for
+// `socmetrics series` and ReadRecording.
+func (r *Recording) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadRecording parses a recording previously written by WriteJSON.
+func ReadRecording(rd io.Reader) (*Recording, error) {
+	var r Recording
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("metrics: decode recording: %w", err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,319 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// TestRecorderCounterRates pins the temporal semantics of counters: each
+// interval records the per-second rate of the delta, not the running total.
+func TestRecorderCounterRates(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("reqs_total")
+	rec := NewRecorder(reg, t0, 10*time.Second)
+
+	c.Add(5)
+	rec.Tick(t0.Add(10 * time.Second)) // interval 0: 5 in 10s = 0.5/s
+	c.Add(20)
+	rec.Tick(t0.Add(20 * time.Second)) // interval 1: 20 in 10s = 2/s
+	rec.Tick(t0.Add(30 * time.Second)) // interval 2: idle = 0/s
+
+	r := rec.Recording()
+	s := r.Find("reqs_total", nil)
+	if s == nil {
+		t.Fatal("series missing")
+	}
+	want := []float64{0.5, 2, 0}
+	if len(s.Samples) != len(want) {
+		t.Fatalf("samples = %v, want %v", s.Samples, want)
+	}
+	for i, w := range want {
+		if s.Samples[i] != w {
+			t.Errorf("interval %d: rate = %v, want %v", i, s.Samples[i], w)
+		}
+	}
+}
+
+// TestRecorderGaugeLevels pins gauge semantics: the level at each interval
+// boundary, including repeats when the harness ticks coarser than the
+// recording step.
+func TestRecorderGaugeLevels(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("power_watts")
+	rec := NewRecorder(reg, t0, 10*time.Second)
+
+	g.Set(100)
+	rec.Tick(t0.Add(10 * time.Second))
+	g.Set(250)
+	// One coarse tick spanning two boundaries: both sample the same level.
+	rec.Tick(t0.Add(30 * time.Second))
+
+	s := rec.Recording().Find("power_watts", nil)
+	want := []float64{100, 250, 250}
+	for i, w := range want {
+		if s.Samples[i] != w {
+			t.Errorf("interval %d: level = %v, want %v", i, s.Samples[i], w)
+		}
+	}
+}
+
+// TestRecorderHistogramQuantiles pins the per-interval quantile estimation:
+// bucket deltas per interval, Prometheus-style interpolation, clamping at
+// the top finite bound, and zeros for empty intervals.
+func TestRecorderHistogramQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", []float64{1, 2, 4})
+	rec := NewRecorder(reg, t0, 10*time.Second)
+
+	// Interval 0: 4 obs spread evenly through (0,1] and (1,2].
+	h.Observe(0.5)
+	h.Observe(1.0)
+	h.Observe(1.5)
+	h.Observe(2.0)
+	rec.Tick(t0.Add(10 * time.Second))
+	// Interval 1: empty.
+	rec.Tick(t0.Add(20 * time.Second))
+	// Interval 2: everything beyond the last finite bucket.
+	h.Observe(100)
+	h.Observe(200)
+	rec.Tick(t0.Add(30 * time.Second))
+
+	s := rec.Recording().Find("lat_seconds", nil)
+	if s == nil {
+		t.Fatal("series missing")
+	}
+	// Observation rates: 4/10s, 0, 2/10s.
+	wantRates := []float64{0.4, 0, 0.2}
+	for i, w := range wantRates {
+		if s.Samples[i] != w {
+			t.Errorf("interval %d: obs rate = %v, want %v", i, s.Samples[i], w)
+		}
+	}
+	p50 := s.Quantile(0.5)
+	// Interval 0: rank 2 of 4 falls exactly at the first bucket's
+	// cumulative count → interpolates to its upper bound 1.
+	if p50[0] != 1 {
+		t.Errorf("interval 0 p50 = %v, want 1", p50[0])
+	}
+	if p50[1] != 0 {
+		t.Errorf("empty interval p50 = %v, want 0", p50[1])
+	}
+	// Interval 2: all mass in +Inf; clamp to last finite bound.
+	if p50[2] != 4 {
+		t.Errorf("+Inf interval p50 = %v, want 4 (clamped)", p50[2])
+	}
+	if got := s.Quantile(0.99)[2]; got != 4 {
+		t.Errorf("+Inf interval p99 = %v, want 4 (clamped)", got)
+	}
+}
+
+// TestRecorderMidRunSeries pins zero-backfill: a series first touched in a
+// later interval still spans the full timeline.
+func TestRecorderMidRunSeries(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("early_total").Inc()
+	rec := NewRecorder(reg, t0, time.Second)
+	rec.Tick(t0.Add(time.Second))
+
+	// New series appears after the first interval (e.g. a component booted
+	// mid-run by the chaos harness).
+	reg.Counter("late_total").Add(2)
+	rec.Tick(t0.Add(2 * time.Second))
+
+	r := rec.Recording()
+	late := r.Find("late_total", nil)
+	if late == nil {
+		t.Fatal("late series missing")
+	}
+	want := []float64{0, 2}
+	for i, w := range want {
+		if late.Samples[i] != w {
+			t.Errorf("late interval %d = %v, want %v", i, late.Samples[i], w)
+		}
+	}
+	if n := r.Intervals(); n != 2 {
+		t.Fatalf("intervals = %d, want 2", n)
+	}
+	// Sorted by canonical identity.
+	if r.Series[0].Name != "early_total" || r.Series[1].Name != "late_total" {
+		t.Errorf("series not sorted: %s, %s", r.Series[0].Name, r.Series[1].Name)
+	}
+}
+
+// shardRecording simulates one shard's workload: a counter, a labeled
+// gauge, and a histogram ticked over three intervals.
+func shardRecording(shard int) *Recording {
+	reg := NewRegistry()
+	c := reg.Counter("work_total", L("shard", "s")) // same identity across shards
+	g := reg.Gauge("level")
+	h := reg.Histogram("dist", []float64{1, 10})
+	rec := NewRecorder(reg, t0, time.Second)
+	for i := 0; i < 3; i++ {
+		c.Add(float64(shard + i))
+		g.Set(float64(10*shard + i))
+		h.Observe(float64(shard))
+		rec.Tick(t0.Add(time.Duration(i+1) * time.Second))
+	}
+	return rec.Recording()
+}
+
+// TestMergeRecordings pins shard-order merge semantics: counters and
+// histogram deltas sum sample-wise, gauges take the last shard's level.
+func TestMergeRecordings(t *testing.T) {
+	a, b := shardRecording(1), shardRecording(2)
+	m := MergeRecordings(a, b)
+	c := m.Find("work_total", map[string]string{"shard": "s"})
+	// Interval i: (1+i) + (2+i) per second.
+	want := []float64{3, 5, 7}
+	for i, w := range want {
+		if c.Samples[i] != w {
+			t.Errorf("merged counter interval %d = %v, want %v", i, c.Samples[i], w)
+		}
+	}
+	g := m.Find("level", nil)
+	// Gauge: last shard (shard 2) wins.
+	wantG := []float64{20, 21, 22}
+	for i, w := range wantG {
+		if g.Samples[i] != w {
+			t.Errorf("merged gauge interval %d = %v, want %v", i, g.Samples[i], w)
+		}
+	}
+	h := m.Find("dist", nil)
+	for i := range h.CountDeltas {
+		if h.CountDeltas[i] != 2 {
+			t.Errorf("merged histogram interval %d count = %d, want 2", i, h.CountDeltas[i])
+		}
+	}
+
+	// Byte-determinism of the merged export: merge order only affects
+	// gauges, which we re-merge in the same order here.
+	var b1, b2 bytes.Buffer
+	if err := MergeRecordings(a, b).WriteCSV(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeRecordings(shardRecording(1), shardRecording(2)).WriteCSV(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("merged CSV not reproducible")
+	}
+}
+
+// TestMergeRecordingsTimelineMismatch pins that shards recording on
+// different schedules are a programming error.
+func TestMergeRecordingsTimelineMismatch(t *testing.T) {
+	a := shardRecording(1)
+	reg := NewRegistry()
+	rec := NewRecorder(reg, t0, 2*time.Second)
+	rec.Tick(t0.Add(2 * time.Second))
+	b := rec.Recording()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on timeline mismatch")
+		}
+	}()
+	MergeRecordings(a, b)
+}
+
+// TestRecordingRoundTrip pins WriteJSON/ReadRecording as a lossless pair.
+func TestRecordingRoundTrip(t *testing.T) {
+	orig := shardRecording(3)
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecording(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := orig.WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("round trip changed recording:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if !got.Start.Equal(orig.Start) || got.Step != orig.Step {
+		t.Errorf("timeline lost: %v/%v vs %v/%v", got.Start, got.Step, orig.Start, orig.Step)
+	}
+}
+
+// TestRecordingWriteCSV pins the long-format layout and deterministic
+// series ordering, including quantile rows for histograms.
+func TestRecordingWriteCSV(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total").Add(10)
+	reg.Gauge("b_level").Set(7)
+	reg.Histogram("c_dist", []float64{1, 2}).Observe(1.5)
+	rec := NewRecorder(reg, t0, 10*time.Second)
+	rec.Tick(t0.Add(10 * time.Second))
+	var buf bytes.Buffer
+	if err := rec.Recording().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"time,series,kind,value",
+		"2026-01-01T00:00:00Z,a_total{},rate,1",
+		"2026-01-01T00:00:00Z,b_level{},level,7",
+		"2026-01-01T00:00:00Z,c_dist{},rate,0.1",
+		"2026-01-01T00:00:00Z,c_dist{},p50,1.5",
+		"2026-01-01T00:00:00Z,c_dist{},p99,1.99",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("CSV mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRecordingToSeries pins the bridge into the timeseries package.
+func TestRecordingToSeries(t *testing.T) {
+	r := shardRecording(1)
+	s := r.Find("level", nil)
+	ts := r.ToSeries(s)
+	if ts.Step != r.Step || !ts.Start.Equal(r.Start) {
+		t.Fatalf("timeline mismatch: %v/%v", ts.Start, ts.Step)
+	}
+	if got := ts.At(r.TimeAt(2)); got != s.Samples[2] {
+		t.Errorf("At = %v, want %v", got, s.Samples[2])
+	}
+}
+
+// TestLockedRegistry exercises the concurrent wrapper under the race
+// detector: parallel writers plus a scraper.
+func TestLockedRegistry(t *testing.T) {
+	lk := NewLocked()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				reg := lk.Lock()
+				reg.Counter("ops_total").Inc()
+				lk.Unlock()
+				lk.Do(func(r *Registry) { r.Gauge("depth").Set(float64(j)) })
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			lk.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	snap := lk.Snapshot()
+	if got := snap.SumByName("ops_total"); got != 400 {
+		t.Errorf("ops_total = %v, want 400", got)
+	}
+}

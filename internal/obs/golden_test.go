@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestWriteJSONLGolden pins the exact JSONL bytes, in particular that HTML
+// escaping is off: Detail strings routinely carry comparison expressions
+// ("power > limit", "a & b") that must survive verbatim — > escapes
+// would break grep-ability and any diff against externally produced traces.
+func TestWriteJSONLGolden(t *testing.T) {
+	tr := New()
+	tr.Emit(Event{
+		Time: t0, Component: Rack, Kind: "cap",
+		Source: "rack-0", Value: 6500,
+		Detail: "power > limit for 2 ticks",
+	})
+	tr.Emit(Event{
+		Time: t0.Add(30 * time.Second), Component: Alert, Kind: "fire",
+		Source: "rack-power-over-limit", Target: "rack_power_watts{rack=rack-0}",
+		Value: 6500, Detail: "6500 > 6000 & sustained <2m>",
+	})
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, esc := range []string{`\u003e`, `\u003c`, `\u0026`} {
+		if strings.Contains(got, esc) {
+			t.Fatalf("HTML escaping leaked %s into trace output:\n%s", esc, got)
+		}
+	}
+	if !strings.Contains(got, "power > limit") {
+		t.Fatalf("Detail did not round-trip verbatim:\n%s", got)
+	}
+
+	path := filepath.Join("testdata", "trace_escaping.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("trace bytes diverge from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 )
 
@@ -34,7 +35,36 @@ const (
 	Chaos Component = "chaos"
 	// Invariant traces runtime invariant violations.
 	Invariant Component = "invariant"
+	// Alert traces alerting-rule transitions (fire, resolve).
+	Alert Component = "alert"
 )
+
+// Components lists every known component in declaration order, for CLI
+// help text and flag validation.
+var Components = []Component{SOA, GOA, WI, Rack, Chaos, Invariant, Alert}
+
+// ParseComponents parses a comma-separated component list (as passed to a
+// -trace-components flag). Whitespace around names is trimmed and empty
+// elements are skipped; an unknown name is an error naming the valid set.
+func ParseComponents(s string) ([]Component, error) {
+	known := make(map[Component]bool, len(Components))
+	for _, c := range Components {
+		known[c] = true
+	}
+	var out []Component
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		c := Component(part)
+		if !known[c] {
+			return nil, fmt.Errorf("obs: unknown component %q (valid: %v)", part, Components)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
 
 // Event is one structured trace record. Time is simulation time; Source is
 // the emitting entity (server, rack, agent); Target is the acted-on entity
@@ -126,9 +156,17 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 	if t == nil {
 		return nil
 	}
+	return WriteEventsJSONL(w, t.events)
+}
+
+// WriteEventsJSONL writes events as JSON lines. HTML escaping is disabled:
+// Detail strings carry expressions like "power > limit" which must round-
+// trip verbatim, not as > escapes.
+func WriteEventsJSONL(w io.Writer, events []Event) error {
 	enc := json.NewEncoder(w)
-	for i := range t.events {
-		if err := enc.Encode(&t.events[i]); err != nil {
+	enc.SetEscapeHTML(false)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
 			return fmt.Errorf("obs: encode event %d: %w", i, err)
 		}
 	}

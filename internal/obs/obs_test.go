@@ -49,6 +49,28 @@ func TestFilteredTracer(t *testing.T) {
 	}
 }
 
+func TestParseComponents(t *testing.T) {
+	got, err := ParseComponents(" soa, rack ,alert,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Component{SOA, Rack, Alert}
+	if len(got) != len(want) {
+		t.Fatalf("ParseComponents = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ParseComponents = %v, want %v", got, want)
+		}
+	}
+	if _, err := ParseComponents("soa,bogus"); err == nil {
+		t.Fatal("unknown component accepted")
+	}
+	if got, err := ParseComponents(""); err != nil || got != nil {
+		t.Fatalf("empty list: %v, %v", got, err)
+	}
+}
+
 func TestConcatShardOrder(t *testing.T) {
 	a, b := New(), New()
 	a.Emit(Event{Time: t0, Component: SOA, Kind: "from-a"})

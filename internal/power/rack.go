@@ -152,8 +152,13 @@ type rackObs struct {
 	caps      *metrics.Counter
 	releases  *metrics.Counter
 	power     *metrics.Gauge
+	limit     *metrics.Gauge
 	util      *metrics.Histogram
 	capLevels *metrics.Gauge
+	// ticks/overLimitTicks book the underprediction rate of §V-C: the
+	// fraction of control cycles spent above the provisioned limit.
+	ticks          *metrics.Counter
+	overLimitTicks *metrics.Counter
 }
 
 // Instrument attaches the rack manager to a registry and tracer. The rack
@@ -163,14 +168,20 @@ func (r *Rack) Instrument(reg *metrics.Registry, tr *obs.Tracer, labels ...metri
 	ls = append(ls, labels...)
 	ls = append(ls, metrics.L("rack", r.cfg.Name))
 	r.obs = &rackObs{
-		tracer:    tr,
-		warnings:  reg.Counter("rack_warnings_total", ls...),
-		caps:      reg.Counter("rack_cap_events_total", ls...),
-		releases:  reg.Counter("rack_releases_total", ls...),
-		power:     reg.Gauge("rack_power_watts", ls...),
-		util:      reg.Histogram("rack_utilization", metrics.FractionBuckets, ls...),
-		capLevels: reg.Gauge("rack_cap_levels", ls...),
+		tracer:         tr,
+		warnings:       reg.Counter("rack_warnings_total", ls...),
+		caps:           reg.Counter("rack_cap_events_total", ls...),
+		releases:       reg.Counter("rack_releases_total", ls...),
+		power:          reg.Gauge("rack_power_watts", ls...),
+		limit:          reg.Gauge("rack_limit_watts", ls...),
+		util:           reg.Histogram("rack_utilization", metrics.FractionBuckets, ls...),
+		capLevels:      reg.Gauge("rack_cap_levels", ls...),
+		ticks:          reg.Counter("rack_ticks_total", ls...),
+		overLimitTicks: reg.Counter("rack_over_limit_ticks_total", ls...),
 	}
+	// The limit is static configuration, published once so alert rules can
+	// judge the power series against the same rack's limit series.
+	r.obs.limit.Set(r.cfg.LimitWatts)
 }
 
 // obsEvent counts and traces one emitted rack event.
@@ -204,6 +215,10 @@ func (r *Rack) obsTick(p float64) {
 	}
 	r.obs.power.Set(p)
 	r.obs.util.Observe(p / r.cfg.LimitWatts)
+	r.obs.ticks.Inc()
+	if p > r.cfg.LimitWatts {
+		r.obs.overLimitTicks.Inc()
+	}
 	lvl := 0
 	for _, s := range r.servers {
 		lvl += s.CapLevel()

@@ -1,0 +1,196 @@
+// Package telemetry is the live scrape surface of the observability layer:
+// a small HTTP server exposing the current metrics snapshot in Prometheus
+// text format, a health probe, the standard pprof profiling endpoints, and
+// a bounded tail of recent trace events. It exists for the networked
+// cluster mode — the deterministic experiments export their telemetry as
+// end-of-run artifacts instead and never start a server.
+//
+// The server never reaches into the simulation: the harness pushes
+// snapshots and events in (PublishSnapshot / PublishEvents) at its own
+// cadence, and scrapes read the latest published state under a mutex. That
+// keeps the HTTP goroutines off the simulation's data entirely.
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"time"
+
+	"smartoclock/internal/metrics"
+	"smartoclock/internal/obs"
+)
+
+// DefaultTailCap bounds the event ring when NewServer is given a
+// non-positive capacity.
+const DefaultTailCap = 1024
+
+// Ring is a bounded FIFO of trace events: appends beyond the capacity
+// overwrite the oldest entries, so a long-lived server holds the most
+// recent window of activity in constant memory.
+type Ring struct {
+	buf   []obs.Event
+	next  int // index the next append writes to
+	total int // lifetime appends
+}
+
+// NewRing returns a ring holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultTailCap
+	}
+	return &Ring{buf: make([]obs.Event, 0, capacity)}
+}
+
+// Append adds events in order, overwriting the oldest once full.
+func (r *Ring) Append(events ...obs.Event) {
+	for _, ev := range events {
+		if len(r.buf) < cap(r.buf) {
+			r.buf = append(r.buf, ev)
+		} else {
+			r.buf[r.next] = ev
+		}
+		r.next = (r.next + 1) % cap(r.buf)
+		r.total++
+	}
+}
+
+// Len returns the number of events currently held.
+func (r *Ring) Len() int { return len(r.buf) }
+
+// Total returns the lifetime number of appended events, including
+// overwritten ones.
+func (r *Ring) Total() int { return r.total }
+
+// Tail returns the most recent n events in chronological order. n beyond
+// the held window returns everything held.
+func (r *Ring) Tail(n int) []obs.Event {
+	if n <= 0 {
+		return nil
+	}
+	if n > len(r.buf) {
+		n = len(r.buf)
+	}
+	out := make([]obs.Event, 0, n)
+	// Oldest-first start position: next wraps over the oldest entry once
+	// the ring is full; before that the buffer is already in order.
+	start := 0
+	if len(r.buf) == cap(r.buf) {
+		start = r.next
+	}
+	for i := len(r.buf) - n; i < len(r.buf); i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Server owns the published telemetry state and the HTTP listener.
+type Server struct {
+	mu   sync.Mutex
+	snap *metrics.Snapshot
+	ring *Ring
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewServer returns a server with an empty snapshot and an event ring of
+// the given capacity (<=0 uses DefaultTailCap).
+func NewServer(tailCap int) *Server {
+	return &Server{snap: &metrics.Snapshot{}, ring: NewRing(tailCap)}
+}
+
+// PublishSnapshot replaces the snapshot served at /metrics.
+func (s *Server) PublishSnapshot(snap *metrics.Snapshot) {
+	if snap == nil {
+		return
+	}
+	s.mu.Lock()
+	s.snap = snap
+	s.mu.Unlock()
+}
+
+// PublishEvents appends trace events to the tail ring.
+func (s *Server) PublishEvents(events []obs.Event) {
+	if len(events) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.ring.Append(events...)
+	s.mu.Unlock()
+}
+
+// Handler returns the server's HTTP mux:
+//
+//	/metrics           Prometheus text exposition of the latest snapshot
+//	/healthz           liveness probe, always "ok"
+//	/trace/tail?n=100  last n trace events as JSON lines (default 100)
+//	/debug/pprof/*     standard Go profiling endpoints
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/trace/tail", s.handleTail)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	snap := s.snap
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := snap.WriteProm(w); err != nil {
+		// Headers are gone; all we can do is drop the connection.
+		return
+	}
+}
+
+func (s *Server) handleTail(w http.ResponseWriter, r *http.Request) {
+	n := 100
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v <= 0 {
+			http.Error(w, "telemetry: n must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	s.mu.Lock()
+	events := s.ring.Tail(n)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = obs.WriteEventsJSONL(w, events)
+}
+
+// Start listens on addr (use "127.0.0.1:0" for a free port) and serves in a
+// background goroutine. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener. In-flight requests are abandoned; the server is
+// a diagnostics plane, not a durability one.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"smartoclock/internal/metrics"
+	"smartoclock/internal/obs"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestRingTail(t *testing.T) {
+	r := NewRing(3)
+	if got := r.Tail(5); len(got) != 0 {
+		t.Fatalf("empty ring tail = %v", got)
+	}
+	for i := 0; i < 5; i++ {
+		r.Append(obs.Event{Kind: fmt.Sprintf("e%d", i)})
+	}
+	if r.Len() != 3 || r.Total() != 5 {
+		t.Fatalf("len=%d total=%d, want 3/5", r.Len(), r.Total())
+	}
+	got := r.Tail(10)
+	want := []string{"e2", "e3", "e4"}
+	if len(got) != len(want) {
+		t.Fatalf("tail = %+v, want %v", got, want)
+	}
+	for i, w := range want {
+		if got[i].Kind != w {
+			t.Errorf("tail[%d] = %s, want %s", i, got[i].Kind, w)
+		}
+	}
+	if got := r.Tail(2); len(got) != 2 || got[0].Kind != "e3" || got[1].Kind != "e4" {
+		t.Errorf("tail(2) = %+v, want e3,e4", got)
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(4)
+	r.Append(obs.Event{Kind: "a"}, obs.Event{Kind: "b"})
+	got := r.Tail(10)
+	if len(got) != 2 || got[0].Kind != "a" || got[1].Kind != "b" {
+		t.Fatalf("partial tail = %+v", got)
+	}
+}
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer(16)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	// Empty until the harness publishes.
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK || body != "" {
+		t.Fatalf("pre-publish /metrics = %d %q", code, body)
+	}
+
+	reg := metrics.NewRegistry()
+	reg.Counter("rack_cap_events_total", metrics.L("rack", "r0")).Add(3)
+	reg.Gauge("rack_power_watts", metrics.L("rack", "r0")).Set(6400)
+	s.PublishSnapshot(reg.Snapshot())
+
+	code, body = get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE rack_cap_events_total counter",
+		`rack_cap_events_total{rack="r0"} 3`,
+		`rack_power_watts{rack="r0"} 6400`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+}
+
+func TestTraceTail(t *testing.T) {
+	s, ts := newTestServer(t)
+	var events []obs.Event
+	for i := 0; i < 20; i++ {
+		events = append(events, obs.Event{
+			Time:      t0.Add(time.Duration(i) * time.Second),
+			Component: obs.Rack, Kind: "cap", Value: float64(i),
+		})
+	}
+	s.PublishEvents(events)
+
+	// Default n=100 clamps to the ring capacity (16).
+	code, body := get(t, ts.URL+"/trace/tail")
+	if code != http.StatusOK {
+		t.Fatalf("/trace/tail status = %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 16 {
+		t.Fatalf("tail lines = %d, want ring cap 16", len(lines))
+	}
+	if !strings.Contains(lines[len(lines)-1], `"value":19`) {
+		t.Errorf("last tail line is not the newest event: %s", lines[len(lines)-1])
+	}
+
+	code, body = get(t, ts.URL+"/trace/tail?n=3")
+	if code != http.StatusOK {
+		t.Fatalf("?n=3 status = %d", code)
+	}
+	if lines := strings.Split(strings.TrimSpace(body), "\n"); len(lines) != 3 {
+		t.Fatalf("tail?n=3 lines = %d", len(lines))
+	}
+
+	if code, _ := get(t, ts.URL+"/trace/tail?n=bogus"); code != http.StatusBadRequest {
+		t.Errorf("bad n status = %d, want 400", code)
+	}
+	if code, _ := get(t, ts.URL+"/trace/tail?n=-1"); code != http.StatusBadRequest {
+		t.Errorf("negative n status = %d, want 400", code)
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d (goroutine profile missing)", code)
+	}
+}
+
+// TestStartClose exercises the real listener path used by soccluster.
+func TestStartClose(t *testing.T) {
+	s := NewServer(0)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, "http://"+addr+"/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("live /healthz = %d %q", code, body)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}
+
+// TestConcurrentPublishAndScrape gives the race detector publisher/scraper
+// interleavings: a harness goroutine publishing snapshots and events while
+// HTTP clients scrape.
+func TestConcurrentPublishAndScrape(t *testing.T) {
+	s, ts := newTestServer(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			reg := metrics.NewRegistry()
+			reg.Counter("ticks_total").Add(float64(i))
+			s.PublishSnapshot(reg.Snapshot())
+			s.PublishEvents([]obs.Event{{Component: obs.Rack, Kind: "tick", Value: float64(i)}})
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		if code, _ := get(t, ts.URL+"/metrics"); code != http.StatusOK {
+			t.Fatalf("scrape %d failed: %d", i, code)
+		}
+		if code, _ := get(t, ts.URL+"/trace/tail?n=5"); code != http.StatusOK {
+			t.Fatalf("tail %d failed: %d", i, code)
+		}
+	}
+	<-done
+}
