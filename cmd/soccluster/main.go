@@ -8,12 +8,16 @@
 //	soccluster [-minutes M] [-warmup M] [-seed S]
 //	           [-main] [-powerconstrained] [-occonstrained]
 //	soccluster -serve 127.0.0.1:9188 [-pace 200ms] [-minutes M]
+//	           [-checkpoint state.json] [-checkpoint-every 1m] [-restore state.json]
 //
 // With no experiment flag all three run. -serve switches to the live
 // networked mode instead: a small rack whose control plane crosses real
 // loopback TCP links, paced in wall-clock time, with /metrics, /healthz,
-// /trace/tail and /debug/pprof served on the given address for the
-// duration of the run.
+// /statez, /trace/tail and /debug/pprof served on the given address for the
+// duration of the run. -checkpoint periodically persists the control plane
+// (gOA profiles, sOA sessions/budgets/ledgers, server wear) to an atomic
+// checkpoint file; -restore warm-starts a run from one, so a killed server
+// resumes where the checkpoint left it instead of relearning from scratch.
 package main
 
 import (
@@ -106,6 +110,9 @@ func main() {
 	traceComponents := flag.String("trace-components", "", "comma-separated obs components to trace (e.g. soa,rack,alert); empty traces everything")
 	serve := flag.String("serve", "", "run the live networked mode instead, serving /metrics, /healthz, /trace/tail and /debug/pprof on this address until the run ends")
 	pace := flag.Duration("pace", 200*time.Millisecond, "wall-clock pace per live tick (with -serve); 0 runs flat out")
+	checkpoint := flag.String("checkpoint", "", "with -serve: write periodic durable checkpoints of the control plane to this file")
+	checkpointEvery := flag.Duration("checkpoint-every", time.Minute, "with -serve -checkpoint: simulated time between checkpoints")
+	restore := flag.String("restore", "", "with -serve: warm-start the run from this checkpoint file")
 	flag.Parse()
 
 	comps, err := obs.ParseComponents(*traceComponents)
@@ -125,6 +132,12 @@ func main() {
 		cfg.Duration = time.Duration(*minutes) * time.Minute
 		cfg.Pace = *pace
 		cfg.TraceOnly = comps
+		cfg.CheckpointPath = *checkpoint
+		cfg.CheckpointEvery = *checkpointEvery
+		cfg.RestorePath = *restore
+		if *restore != "" {
+			fmt.Fprintf(os.Stderr, "soccluster: warm-starting from %s\n", *restore)
+		}
 		fmt.Fprintf(os.Stderr, "soccluster: live mode on http://%s — %v simulated at %v/tick...\n", addr, cfg.Duration, cfg.Pace)
 		res, err := experiment.RunLive(cfg, srv)
 		if err != nil {

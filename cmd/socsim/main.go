@@ -5,12 +5,16 @@
 //
 // Usage:
 //
-//	socsim [-racks N] [-traindays D] [-evaldays D] [-seed S] [-table1] [-fig15] [-chaos]
+//	socsim [-racks N] [-traindays D] [-evaldays D] [-seed S] [-table1] [-fig15] [-chaos] [-recovery]
 //
 // With no experiment flag the paper experiments run (Table I, Fig 15,
 // ablations). -chaos runs the fault-injection experiment instead: a rack
 // under 25% message loss, a 1-hour gOA outage and sOA crash/restarts, with
-// the runtime invariant checker asserting safety on every tick.
+// the runtime invariant checker asserting safety on every tick. -recovery
+// runs the crash-recovery experiment: a control-plane crash mid-run,
+// comparing cold restarts against warm restarts from checkpoints of
+// varying staleness (time-to-first-grant, grant-availability gap, budget
+// divergence from an uninterrupted oracle).
 package main
 
 import (
@@ -107,6 +111,7 @@ func main() {
 	runFig15 := flag.Bool("fig15", false, "run only Fig 15")
 	runAblations := flag.Bool("ablations", false, "run only the design-choice ablations")
 	runChaos := flag.Bool("chaos", false, "run the fault-injection experiment (gOA outage, lossy control plane, sOA crashes)")
+	runRecovery := flag.Bool("recovery", false, "run the crash-recovery experiment (cold vs warm restart from checkpoints)")
 	metricsOut := flag.String("metrics-out", "", "write the metrics snapshot of the Table I run (or -chaos run) here; .json selects JSON, anything else Prometheus text")
 	traceOut := flag.String("trace-out", "", "write the structured event trace of the Table I run (or -chaos run) here as JSON Lines")
 	seriesOut := flag.String("series-out", "", "write the recorded time series of the Table I run (or -chaos run) here; .json selects JSON, anything else CSV")
@@ -137,6 +142,19 @@ func main() {
 		if res.Err != nil {
 			log.Fatal(res.Err)
 		}
+		return
+	}
+
+	if *runRecovery {
+		cfg := experiment.DefaultRecoveryConfig()
+		cfg.Seed = *seed
+		fmt.Fprintf(os.Stderr, "socsim: recovery run — %d servers, crash at %v for %v, checkpoint staleness %v...\n",
+			cfg.Servers, cfg.CrashAt, cfg.DownFor, cfg.Staleness)
+		res, err := experiment.RunRecovery(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Format())
 		return
 	}
 

@@ -74,6 +74,32 @@ func TestCapLevelClamps(t *testing.T) {
 	}
 }
 
+func TestMaxCapLevelNonDivisibleRange(t *testing.T) {
+	// 3950-1500 = 2450 MHz is not a multiple of the 100 MHz step. The
+	// deepest level must round UP (25 levels) so full-throttle capping
+	// reaches the MinMHz floor; floor division (24 levels) would strand
+	// the ceiling at 1550 MHz.
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 4
+	cfg.MaxOCMHz = 3950
+	cfg.MinMHz = 1500
+	cfg.StepMHz = 100
+	s := NewServer("odd", cfg, 0)
+	if got, want := s.MaxCapLevel(), 25; got != want {
+		t.Fatalf("MaxCapLevel = %d, want %d", got, want)
+	}
+	s.SetDesiredFreq(0, cfg.MaxOCMHz)
+	s.ForceCap(s.MaxCapLevel())
+	if s.EffectiveFreq(0) != cfg.MinMHz {
+		t.Fatalf("deepest cap freq = %d, want floor %d", s.EffectiveFreq(0), cfg.MinMHz)
+	}
+	// An exactly divisible range is unchanged: (4000-1500)/100 = 25.
+	s2 := newServer()
+	if got, want := s2.MaxCapLevel(), 25; got != want {
+		t.Fatalf("divisible MaxCapLevel = %d, want %d", got, want)
+	}
+}
+
 func TestCappingReducesPower(t *testing.T) {
 	s := newServer()
 	for i := 0; i < s.NumCores(); i++ {

@@ -108,10 +108,13 @@ func (s *Server) capCeiling() int {
 	return c
 }
 
-// MaxCapLevel implements power.Server.
+// MaxCapLevel implements power.Server. The division rounds up: when the
+// MaxOC→Min range is not a whole number of steps, the deepest level must
+// still drive capCeiling all the way down to MinMHz (the ceiling clamps
+// there), not strand it one partial step above the floor.
 func (s *Server) MaxCapLevel() int {
 	cfg := s.m.Config()
-	return (cfg.MaxOCMHz - cfg.MinMHz) / cfg.StepMHz
+	return (cfg.MaxOCMHz - cfg.MinMHz + cfg.StepMHz - 1) / cfg.StepMHz
 }
 
 // ForceCap implements power.Server.
@@ -186,6 +189,59 @@ func (s *Server) MeanAgedSeconds() float64 {
 		total += w.Aged().Seconds()
 	}
 	return total / float64(len(s.wear))
+}
+
+// ServerState is the serializable runtime state of a Server: the capping
+// position, the sOA-requested frequencies and the per-core wear counters.
+// Hardware configuration and the aging model are not serialized — a
+// restoring process re-creates the Server from its own config and only the
+// accumulated state comes from the checkpoint.
+type ServerState struct {
+	Name     string               `json:"name"`
+	CapLevel int                  `json:"cap_level"`
+	Desired  []int                `json:"desired"`
+	Wear     []lifetime.WearState `json:"wear"`
+}
+
+// Snapshot captures the server's runtime state.
+func (s *Server) Snapshot() *ServerState {
+	st := &ServerState{
+		Name:     s.name,
+		CapLevel: s.capLevel,
+		Desired:  append([]int(nil), s.desired...),
+		Wear:     make([]lifetime.WearState, len(s.wear)),
+	}
+	for i, w := range s.wear {
+		st.Wear[i] = w.Snapshot()
+	}
+	return st
+}
+
+// Restore overwrites the server's runtime state from a snapshot and
+// re-applies the effective frequencies. It fails on a core-count mismatch
+// (snapshot from different hardware) before touching any state.
+func (s *Server) Restore(st *ServerState) error {
+	if len(st.Desired) != len(s.desired) || len(st.Wear) != len(s.wear) {
+		return fmt.Errorf("cluster: snapshot has %d/%d cores, server %s has %d",
+			len(st.Desired), len(st.Wear), s.name, len(s.desired))
+	}
+	s.capLevel = st.CapLevel
+	if s.capLevel < 0 {
+		s.capLevel = 0
+	}
+	if max := s.MaxCapLevel(); s.capLevel > max {
+		s.capLevel = max
+	}
+	cfg := s.m.Config()
+	for i, mhz := range st.Desired {
+		s.desired[i] = cfg.ClampFreq(mhz)
+		s.wear[i].Restore(st.Wear[i])
+		s.apply(i)
+	}
+	if s.agedSecs != nil {
+		s.agedSecs.Set(s.MeanAgedSeconds())
+	}
+	return nil
 }
 
 // VM is a placed workload instance owning a set of cores on a server.

@@ -56,10 +56,13 @@ func DefaultUtilPolicy() UtilPolicy {
 }
 
 // ScheduleWindow is a daily overclocking window for schedule-based
-// policies (e.g. 9-10 AM local time, §IV-A).
+// policies (e.g. 9-10 AM local time, §IV-A). StartHour > EndHour means the
+// window wraps past midnight: {22, 2} covers 22:00-23:59 and 00:00-01:59.
 type ScheduleWindow struct {
 	StartHour, EndHour int
-	// WeekdaysOnly restricts the window to Monday-Friday.
+	// WeekdaysOnly restricts the window to Monday-Friday. The filter tests
+	// the weekday of the queried instant itself, so an overnight window
+	// starting Friday evening does not extend into Saturday morning.
 	WeekdaysOnly bool
 }
 
@@ -72,6 +75,10 @@ func (w ScheduleWindow) Contains(ts time.Time) bool {
 		}
 	}
 	h := ts.Hour()
+	if w.StartHour > w.EndHour {
+		// Overnight: the window spans midnight.
+		return h >= w.StartHour || h < w.EndHour
+	}
 	return h >= w.StartHour && h < w.EndHour
 }
 
@@ -236,11 +243,21 @@ func (w *GlobalWI) Observe(instance string, m InstanceMetrics) {
 	w.instances[instance] = m
 }
 
-// Forget removes a decommissioned instance.
+// Forget removes a decommissioned instance from every tracking structure.
+// The rejectPending sweep matters: a name left there would be re-inserted
+// into rejectHold by the next Decide, resurrecting the instance.
 func (w *GlobalWI) Forget(instance string) {
 	delete(w.instances, instance)
 	delete(w.ocActive, instance)
 	delete(w.rejectHold, instance)
+	delete(w.ocStartAt, instance)
+	kept := w.rejectPending[:0]
+	for _, name := range w.rejectPending {
+		if name != instance {
+			kept = append(kept, name)
+		}
+	}
+	w.rejectPending = kept
 }
 
 // ReportRejection tells the agent an overclocking request for one of its
@@ -361,7 +378,10 @@ func (w *GlobalWI) Decide(now time.Time) Directive {
 	// scale-out path does not wait for an (impossible) overclock.
 	ocUnavailable := w.hasRejected && now.Sub(w.lastRejectAt) < rejectMemory
 
-	// Per-instance overclock decisions.
+	// Per-instance overclock decisions. The deployment-mean utilization is
+	// invariant across the loop (Observe/Forget never run mid-decision), so
+	// compute it once rather than per instance.
+	depUtil := w.deploymentUtil()
 	for _, name := range w.sortedInstances() {
 		m := w.instances[name]
 		if until, held := w.rejectHold[name]; held {
@@ -374,7 +394,6 @@ func (w *GlobalWI) Decide(now time.Time) Directive {
 		}
 		want := w.ocActive[name]
 		wasOn := want
-		depUtil := w.deploymentUtil()
 		if scheduleOn {
 			want = true
 		} else if w.Metric != nil || w.Util != nil {

@@ -216,12 +216,75 @@ func TestForget(t *testing.T) {
 }
 
 func TestScheduleWindowContains(t *testing.T) {
-	win := ScheduleWindow{StartHour: 22, EndHour: 23}
-	if !win.Contains(time.Date(2023, 4, 10, 22, 30, 0, 0, time.UTC)) {
-		t.Fatal("window must contain 22:30")
+	at := func(day, hour, min int) time.Time {
+		return time.Date(2023, 4, day, hour, min, 0, 0, time.UTC) // Apr 10 2023 = Monday
 	}
-	if win.Contains(time.Date(2023, 4, 10, 23, 0, 0, 0, time.UTC)) {
-		t.Fatal("EndHour is exclusive")
+	tests := []struct {
+		name string
+		win  ScheduleWindow
+		ts   time.Time
+		want bool
+	}{
+		{"same-day inside", ScheduleWindow{StartHour: 22, EndHour: 23}, at(10, 22, 30), true},
+		{"same-day end exclusive", ScheduleWindow{StartHour: 22, EndHour: 23}, at(10, 23, 0), false},
+		{"same-day before start", ScheduleWindow{StartHour: 22, EndHour: 23}, at(10, 21, 59), false},
+		// Overnight window 22:00 → 02:00: both arms must match.
+		{"overnight evening arm", ScheduleWindow{StartHour: 22, EndHour: 2}, at(10, 22, 0), true},
+		{"overnight late evening", ScheduleWindow{StartHour: 22, EndHour: 2}, at(10, 23, 59), true},
+		{"overnight morning arm", ScheduleWindow{StartHour: 22, EndHour: 2}, at(10, 0, 0), true},
+		{"overnight morning edge", ScheduleWindow{StartHour: 22, EndHour: 2}, at(10, 1, 59), true},
+		{"overnight end exclusive", ScheduleWindow{StartHour: 22, EndHour: 2}, at(10, 2, 0), false},
+		{"overnight midday gap", ScheduleWindow{StartHour: 22, EndHour: 2}, at(10, 12, 0), false},
+		// Weekday filter applies to the queried instant's own weekday: the
+		// Friday-evening arm fires, the Saturday-morning arm does not.
+		{"weekday overnight Friday evening", ScheduleWindow{StartHour: 22, EndHour: 2, WeekdaysOnly: true}, at(14, 23, 0), true},
+		{"weekday overnight Saturday morning", ScheduleWindow{StartHour: 22, EndHour: 2, WeekdaysOnly: true}, at(15, 1, 0), false},
+		{"weekday same-day Saturday", ScheduleWindow{StartHour: 9, EndHour: 17, WeekdaysOnly: true}, at(15, 10, 0), false},
+		{"weekday same-day Monday", ScheduleWindow{StartHour: 9, EndHour: 17, WeekdaysOnly: true}, at(10, 10, 0), true},
+		// Degenerate equal bounds: empty window.
+		{"equal bounds empty", ScheduleWindow{StartHour: 9, EndHour: 9}, at(10, 9, 0), false},
+	}
+	for _, tc := range tests {
+		if got := tc.win.Contains(tc.ts); got != tc.want {
+			t.Errorf("%s: Contains(%v) = %v, want %v", tc.name, tc.ts, got, tc.want)
+		}
+	}
+}
+
+func TestForgetPurgesAllState(t *testing.T) {
+	w := newMetricWI()
+	w.Observe("i0", InstanceMetrics{P99MS: 90})
+	w.Observe("i1", InstanceMetrics{P99MS: 90})
+	w.Decide(wiNow) // engages OC on both → ocStartAt populated
+	if _, ok := w.ocStartAt["i0"]; !ok {
+		t.Fatal("test setup: i0 not engaged")
+	}
+	// A rejection parks i0 in rejectPending until the next Decide.
+	w.ReportRejection("i0", RejectPower)
+	w.Forget("i0")
+	if _, ok := w.ocStartAt["i0"]; ok {
+		t.Fatal("Forget leaked ocStartAt entry")
+	}
+	for _, name := range w.rejectPending {
+		if name == "i0" {
+			t.Fatal("Forget leaked rejectPending entry")
+		}
+	}
+	w.Decide(wiNow.Add(time.Second))
+	if _, ok := w.rejectHold["i0"]; ok {
+		t.Fatal("forgotten instance resurrected into rejectHold by Decide")
+	}
+	if _, ok := w.instances["i0"]; ok {
+		t.Fatal("Forget left instance metrics")
+	}
+	if _, ok := w.ocActive["i0"]; ok {
+		t.Fatal("Forget left ocActive entry")
+	}
+	// The surviving instance's pending rejection must still be stamped.
+	w.ReportRejection("i1", RejectPower)
+	w.Decide(wiNow.Add(2 * time.Second))
+	if _, ok := w.rejectHold["i1"]; !ok {
+		t.Fatal("surviving instance lost its reject hold")
 	}
 }
 

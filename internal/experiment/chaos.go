@@ -19,6 +19,7 @@ import (
 	"smartoclock/internal/predict"
 	"smartoclock/internal/sim"
 	"smartoclock/internal/stats"
+	"smartoclock/internal/store"
 	"smartoclock/internal/timeseries"
 )
 
@@ -56,6 +57,12 @@ type ChaosConfig struct {
 	// are durable, as production wear accounting would be.
 	SOACrashes   int
 	MaxCrashDown time.Duration
+	// WarmRestart restores each crashed sOA from its last durable
+	// checkpoint instead of rebuilding it cold, and CheckpointEvery is the
+	// checkpoint cadence (mirrored onto the chaos.Plan). A longer cadence
+	// means staler restored state. Ignored unless both are set.
+	WarmRestart     bool
+	CheckpointEvery time.Duration
 
 	// Control-plane cadences.
 	ProfileEvery time.Duration // sOA → gOA profile reports
@@ -165,6 +172,10 @@ type ChaosResult struct {
 	// Crashes injected and restarts completed within the run.
 	Crashes  int
 	Restarts int
+	// Checkpoints taken and warm restores applied (warm-restart mode only;
+	// a restart with no checkpoint yet falls back to a cold boot).
+	Checkpoints  int
+	WarmRestores int
 	// StaleBudgetTicks counts (server, tick) pairs where the sOA ran on a
 	// gOA assignment older than 2× the push cadence (or none at all) —
 	// the stale-budget epochs the exploration fallback has to cover.
@@ -200,6 +211,16 @@ type chaosServer struct {
 	hasBudget    bool
 	requests     int
 	granted      int
+	// ckpt is the last encoded checkpoint envelope (warm-restart mode).
+	ckpt []byte
+}
+
+// soaCheckpoint is the chaos rig's checkpoint payload: the agent snapshot
+// plus the rig-level budget-freshness bookkeeping that must survive with it.
+type soaCheckpoint struct {
+	SOA          *core.SOAState `json:"soa"`
+	HasBudget    bool           `json:"has_budget"`
+	LastBudgetAt time.Time      `json:"last_budget_at"`
 }
 
 // RunChaos executes the fault-injection experiment.
@@ -395,6 +416,29 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	}
 	plan := chaos.GenPlan(cfg.Seed+3, agentNames, cfg.Start.Add(5*time.Minute),
 		cfg.Duration-15*time.Minute, cfg.SOACrashes, cfg.MaxCrashDown)
+	plan.WarmRestart = cfg.WarmRestart
+	plan.CheckpointEvery = cfg.CheckpointEvery
+	if plan.WarmRestart && plan.CheckpointEvery > 0 {
+		eng.Every(cfg.Start.Add(plan.CheckpointEvery), plan.CheckpointEvery, func(now time.Time) {
+			for _, cs := range servers {
+				if cs.soa == nil {
+					continue // crashed agents keep their previous checkpoint
+				}
+				snap := cs.soa.Snapshot()
+				// The lifetime ledger is durable in this rig (NVRAM-style,
+				// it survives crashes on its own); restoring a stale copy
+				// would roll back consumed wear, so it is excluded.
+				snap.Budgets = nil
+				data, err := store.Encode(now, &soaCheckpoint{
+					SOA: snap, HasBudget: cs.hasBudget, LastBudgetAt: cs.lastBudgetAt,
+				})
+				if err == nil {
+					cs.ckpt = data
+					res.Checkpoints++
+				}
+			}
+		})
+	}
 	plan.Schedule(eng, tr,
 		func(name string) {
 			cs := byAgent[name]
@@ -416,6 +460,19 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 				return
 			}
 			bootSOA(cs, eng.Now())
+			if plan.WarmRestart && cs.ckpt != nil {
+				// Warm restart: restore the rebooted agent from its last
+				// checkpoint. A decode/restore failure degrades to the cold
+				// boot that already happened — never worse than cold.
+				var ck soaCheckpoint
+				if _, err := store.Decode(cs.ckpt, &ck); err == nil {
+					if err := cs.soa.Restore(ck.SOA); err == nil {
+						cs.hasBudget = ck.HasBudget
+						cs.lastBudgetAt = ck.LastBudgetAt
+						res.WarmRestores++
+					}
+				}
+			}
 			res.Restarts++
 		})
 
@@ -554,6 +611,9 @@ func (r *ChaosResult) Format() string {
 	tbl.AddRow("messages duplicated", r.Transport.Duplicated)
 	tbl.AddRow("messages delayed", r.Transport.Delayed)
 	tbl.AddRow("sOA crashes / restarts", fmt.Sprintf("%d / %d", r.Crashes, r.Restarts))
+	if r.Checkpoints > 0 || r.WarmRestores > 0 {
+		tbl.AddRow("checkpoints / warm restores", fmt.Sprintf("%d / %d", r.Checkpoints, r.WarmRestores))
+	}
 	tbl.AddRow("stale-budget server-ticks", r.StaleBudgetTicks)
 	tbl.AddRow("oc requests (granted)", fmt.Sprintf("%d (%d)", r.Requests, r.Granted))
 	tbl.AddRow("rack warnings / cap events", fmt.Sprintf("%d / %d", r.Warnings, r.CapEvents))

@@ -43,6 +43,42 @@ func TestChaosRunHoldsInvariants(t *testing.T) {
 	}
 }
 
+// TestChaosWarmRestart: with checkpointing on, crashed sOAs come back from
+// their last checkpoint instead of cold — and the run stays invariant-clean.
+func TestChaosWarmRestart(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	cfg.WarmRestart = true
+	cfg.CheckpointEvery = 2 * time.Minute
+	res, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatalf("RunChaos: %v", err)
+	}
+	if res.Err != nil {
+		t.Fatalf("invariants violated under warm restart:\n%v", res.Err)
+	}
+	if res.Checkpoints == 0 {
+		t.Fatal("no checkpoints taken despite CheckpointEvery")
+	}
+	if res.Restarts == 0 {
+		t.Fatal("no restarts fired — warm path untested")
+	}
+	// Crashes are scheduled from 5 minutes in and the first checkpoint lands
+	// at 2 minutes, so every restart should have had a checkpoint to restore.
+	if res.WarmRestores != res.Restarts {
+		t.Errorf("warm restores = %d, restarts = %d — some restarts fell back to cold", res.WarmRestores, res.Restarts)
+	}
+
+	// Warm restart must also be deterministic.
+	again, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Transport != res.Transport || again.Granted != res.Granted ||
+		again.WarmRestores != res.WarmRestores || again.Checkpoints != res.Checkpoints {
+		t.Errorf("warm-restart run not deterministic: %+v vs %+v", res, again)
+	}
+}
+
 // TestChaosDeterministic: same config, same seed — identical run, down to
 // every fault counter and every decision.
 func TestChaosDeterministic(t *testing.T) {

@@ -12,6 +12,7 @@ import (
 	"smartoclock/internal/parallel"
 	"smartoclock/internal/power"
 	"smartoclock/internal/predict"
+	"smartoclock/internal/store"
 	"smartoclock/internal/timeseries"
 	"smartoclock/internal/trace"
 )
@@ -42,6 +43,15 @@ type FleetSimConfig struct {
 	ExploreStepWatts float64
 	// WarnFraction overrides the rack warning threshold.
 	WarnFraction float64
+
+	// CheckpointTick, when positive, checkpoints every rack's control plane
+	// (gOA + all sOAs with their lifetime ledgers) at the start of that
+	// evaluation tick, serializes it through the store envelope, tears the
+	// live agents down and replaces them with fresh agents restored from the
+	// decoded bytes. The run must be byte-identical to an uninterrupted one
+	// — the roundtrip test uses this to prove checkpoint/restore is lossless
+	// mid-run, at every worker count.
+	CheckpointTick int
 
 	// Workers bounds how many rack simulations run concurrently;
 	// <= 0 selects GOMAXPROCS. Results are bit-identical for every
@@ -216,7 +226,10 @@ func (h *traceHost) OCDeltaWatts(cores, mhz int, util float64) float64 {
 
 func (h *traceHost) CapPriority() int { return h.capPriority }
 func (h *traceHost) CapLevel() int    { return h.capLevel }
-func (h *traceHost) MaxCapLevel() int { return (h.maxOC - h.minMHz) / h.stepMHz }
+
+// MaxCapLevel rounds up so the deepest level reaches MinMHz even when the
+// MaxOC→Min range is not a whole number of steps (see cluster.Server).
+func (h *traceHost) MaxCapLevel() int { return (h.maxOC - h.minMHz + h.stepMHz - 1) / h.stepMHz }
 
 func (h *traceHost) ForceCap(level int) {
 	if level < 0 {
@@ -504,7 +517,14 @@ func rackRunObserved(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConf
 		Epoch: 7 * 24 * time.Hour, Fraction: cfg.OCBudgetFraction,
 		CarryOver: true, MaxCarryOver: 1,
 	}
-	for i, st := range rt.Servers {
+	// buildSOA constructs server i's agent from configuration alone — the
+	// same recipe whether it is the initial boot or a post-checkpoint
+	// rebuild. Config is code, state is data: closures (the oracle), host
+	// bindings and cadences come from here; learned state comes from
+	// SetAssignedBudget/SetPowerTemplate at boot or Restore after a
+	// checkpoint.
+	buildSOA := func(i int) *core.SOA {
+		st := rt.Servers[i]
 		scfg := baselines.SOAConfig(sys, soaBase, oracle)
 		budgets := lifetime.NewCoreBudgets(bcfg, st.Spec.HW.Cores, evalStart)
 		even := rt.LimitWatts / float64(len(rt.Servers))
@@ -513,7 +533,22 @@ func rackRunObserved(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConf
 			// enforcement should second-guess it.
 			even = 1e9
 		}
-		soas[i] = core.NewSOA(scfg, hosts[i], budgets, even, evalStart)
+		return core.NewSOA(scfg, hosts[i], budgets, even, evalStart)
+	}
+	// instrumentSOA binds an agent to the shard registry. Rebuilt agents
+	// resolve the same series (identity is name+labels), so counters keep
+	// accumulating across a checkpoint/restore cycle.
+	instrumentSOA := func(a *core.SOA) {
+		if reg == nil {
+			return
+		}
+		soaLabels := make([]metrics.Label, 0, len(shardLabels)+1)
+		soaLabels = append(soaLabels, shardLabels...)
+		soaLabels = append(soaLabels, metrics.L("rack", rt.Name))
+		a.Instrument(reg, tracer, soaLabels...)
+	}
+	for i, st := range rt.Servers {
+		soas[i] = buildSOA(i)
 		switch sys {
 		case baselines.NaiveOClock, baselines.Central:
 			// Even share; Central admits via the oracle anyway.
@@ -522,12 +557,7 @@ func rackRunObserved(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConf
 		}
 		train := st.Power.Slice(fleetStart, trainEnd)
 		soas[i].SetPowerTemplate(templateFromPredictor(predictorFor(cfg.TemplateStrategy), train))
-		if reg != nil {
-			soaLabels := make([]metrics.Label, 0, len(shardLabels)+1)
-			soaLabels = append(soaLabels, shardLabels...)
-			soaLabels = append(soaLabels, metrics.L("rack", rt.Name))
-			soas[i].Instrument(reg, tracer, soaLabels...)
-		}
+		instrumentSOA(soas[i])
 	}
 
 	// Rack events feed every sOA; caps are counted by the rack itself.
@@ -541,6 +571,43 @@ func rackRunObserved(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConf
 	trainOffset := cfg.TrainDays * int(24*time.Hour/cfg.Step)
 	for t := 0; t < ticks; t++ {
 		now = evalStart.Add(time.Duration(t) * cfg.Step)
+		// 0. Optional mid-run checkpoint/restore cycle: snapshot the whole
+		// control plane, push it through the serialized envelope, and swap
+		// in fresh agents restored from the decoded bytes. The remainder of
+		// the run must be indistinguishable from never having restarted.
+		if cfg.CheckpointTick > 0 && t == cfg.CheckpointTick {
+			cp := &store.Checkpoint{GOA: goa.Snapshot(), SOAs: make(map[string]*core.SOAState, len(rt.Servers))}
+			for i, st := range rt.Servers {
+				cp.SOAs[st.Spec.Name] = soas[i].Snapshot()
+			}
+			data, err := store.Encode(now, cp)
+			var got store.Checkpoint
+			if err == nil {
+				_, err = store.Decode(data, &got)
+			}
+			if err == nil {
+				g := core.NewGOA(rt.Name, rt.LimitWatts)
+				g.Restore(got.GOA)
+				if reg != nil {
+					g.Instrument(reg, tracer, shardLabels...)
+				}
+				goa = g
+				for i, st := range rt.Servers {
+					a := buildSOA(i)
+					if rerr := a.Restore(got.SOAs[st.Spec.Name]); rerr != nil {
+						err = rerr
+						break
+					}
+					instrumentSOA(a)
+					soas[i] = a
+				}
+			}
+			if err != nil {
+				// A checkpoint that cannot roundtrip is a store-layer bug,
+				// not a simulation outcome — fail loudly.
+				panic(fmt.Sprintf("experiment: fleet checkpoint roundtrip at tick %d: %v", t, err))
+			}
+		}
 		// 1. Update baselines from the trace.
 		for i, st := range rt.Servers {
 			idx := trainOffset + t

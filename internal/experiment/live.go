@@ -15,6 +15,7 @@ import (
 	"smartoclock/internal/power"
 	"smartoclock/internal/predict"
 	"smartoclock/internal/stats"
+	"smartoclock/internal/store"
 	"smartoclock/internal/timeseries"
 )
 
@@ -43,6 +44,17 @@ type LiveConfig struct {
 	// TraceOnly restricts the event trace to these components; empty
 	// records everything.
 	TraceOnly []obs.Component
+
+	// CheckpointPath/CheckpointEvery enable periodic durable checkpoints:
+	// every CheckpointEvery of simulated time the whole control plane (gOA,
+	// sOAs with their lifetime ledgers, server cap/wear state) is written
+	// atomically to CheckpointPath. Both must be set.
+	CheckpointPath  string
+	CheckpointEvery time.Duration
+	// RestorePath, when set, warm-starts the run from that checkpoint
+	// before the first tick: profiles, budgets, sessions and wear continue
+	// where the checkpointed process left off.
+	RestorePath string
 }
 
 // DefaultLiveConfig paces one 5-second control tick per 200 ms of wall
@@ -77,8 +89,12 @@ type LiveResult struct {
 	Granted   int
 	CapEvents int
 	Warnings  int
-	Metrics   *metrics.Snapshot
-	Trace     *obs.Tracer
+	// Checkpoints counts successful checkpoint writes; Restored reports
+	// whether the run warm-started from RestorePath.
+	Checkpoints int
+	Restored    bool
+	Metrics     *metrics.Snapshot
+	Trace       *obs.Tracer
 }
 
 // Format renders the live run as a report table.
@@ -90,6 +106,9 @@ func (r *LiveResult) Format() string {
 	tbl.AddRow("ticks", r.Ticks)
 	tbl.AddRow("oc requests (granted)", fmt.Sprintf("%d (%d)", r.Requests, r.Granted))
 	tbl.AddRow("rack warnings / cap events", fmt.Sprintf("%d / %d", r.Warnings, r.CapEvents))
+	if r.Checkpoints > 0 || r.Restored {
+		tbl.AddRow("checkpoints (warm-started)", fmt.Sprintf("%d (%v)", r.Checkpoints, r.Restored))
+	}
 	return tbl.Format()
 }
 
@@ -192,6 +211,8 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 
 	// Instrumentation resolves handles into the shared registry under the
 	// lock; the simulation later updates them under the same lock.
+	var ckptWrites, ckptErrors *metrics.Counter
+	var ckptBytes *metrics.Gauge
 	lk.Do(func(reg *metrics.Registry) {
 		rack.Instrument(reg, tracer)
 		goa.Instrument(reg, tracer)
@@ -200,7 +221,62 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 			ls.soa = core.NewSOA(soaCfg, ls.srv, lifetime.NewCoreBudgets(bcfg, ls.srv.NumCores(), cfg.Start), evenShare, cfg.Start)
 			ls.soa.Instrument(reg, tracer)
 		}
+		ckptWrites = reg.Counter("checkpoint_writes_total")
+		ckptErrors = reg.Counter("checkpoint_errors_total")
+		ckptBytes = reg.Gauge("checkpoint_bytes")
 	})
+
+	// --- Durable state: warm start and periodic checkpoints ----------------
+	res := &LiveResult{}
+	stateInfo := store.StateInfo{CheckpointPath: cfg.CheckpointPath}
+	buildCheckpoint := func() *store.Checkpoint {
+		cp := &store.Checkpoint{
+			GOA:     goa.Snapshot(),
+			SOAs:    make(map[string]*core.SOAState, len(servers)),
+			Servers: make(map[string]*cluster.ServerState, len(servers)),
+		}
+		for _, ls := range servers {
+			cp.SOAs[ls.srv.Name()] = ls.soa.Snapshot()
+			cp.Servers[ls.srv.Name()] = ls.srv.Snapshot()
+		}
+		return cp
+	}
+	if cfg.RestorePath != "" {
+		var cp store.Checkpoint
+		savedAt, err := store.Load(cfg.RestorePath, &cp)
+		if err != nil {
+			return nil, err
+		}
+		lk.Do(func(*metrics.Registry) {
+			if cp.GOA != nil {
+				goa.Restore(cp.GOA)
+			}
+			for _, ls := range servers {
+				if st, ok := cp.Servers[ls.srv.Name()]; ok {
+					if rerr := ls.srv.Restore(st); rerr != nil && err == nil {
+						err = rerr
+					}
+				}
+				if st, ok := cp.SOAs[ls.srv.Name()]; ok {
+					if rerr := ls.soa.Restore(st); rerr != nil && err == nil {
+						err = rerr
+					}
+				}
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: restore %s: %w", cfg.RestorePath, err)
+		}
+		res.Restored = true
+		stateInfo.RestoredFrom = cfg.RestorePath
+		stateInfo.RestoredAt = savedAt
+	}
+	// Sinks that understand durable-state status (the telemetry server's
+	// /statez) get it pushed alongside snapshots.
+	statePub, _ := sink.(interface{ PublishState(store.StateInfo) })
+	if statePub != nil {
+		statePub.PublishState(stateInfo)
+	}
 
 	// --- Inboxes: TCP read loops hand off, the main loop applies ----------
 	goaInbox := make(chan agent.Message, 256)
@@ -222,7 +298,6 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 	}
 	soaNode.AddPeer("goa", goaNode.Addr())
 
-	res := &LiveResult{}
 	byAgent := make(map[string]*liveServer, len(servers))
 	for _, ls := range servers {
 		byAgent[ls.agentID] = ls
@@ -238,6 +313,8 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 	published := 0 // events already handed to the sink
 	profileEvery, budgetEvery := 2*time.Minute, time.Minute
 	nextProfile, nextBudget := cfg.Start.Add(profileEvery), cfg.Start.Add(budgetEvery)
+	checkpointing := cfg.CheckpointPath != "" && cfg.CheckpointEvery > 0
+	nextCkpt := cfg.Start.Add(cfg.CheckpointEvery)
 	for now := cfg.Start.Add(cfg.Tick); !now.After(end); now = now.Add(cfg.Tick) {
 		res.Ticks++
 
@@ -372,7 +449,37 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 			}
 		}
 
-		// 4. Publish to the sink and pace.
+		// 4. Periodic checkpoint: snapshot under the lock, write to disk
+		// outside it (atomic rename — a crash mid-write leaves the previous
+		// checkpoint intact).
+		if checkpointing && !now.Before(nextCkpt) {
+			nextCkpt = nextCkpt.Add(cfg.CheckpointEvery)
+			var cp *store.Checkpoint
+			lk.Do(func(*metrics.Registry) { cp = buildCheckpoint() })
+			data, err := store.Encode(now, cp)
+			if err == nil {
+				err = store.SaveEncoded(cfg.CheckpointPath, data)
+			}
+			lk.Do(func(*metrics.Registry) {
+				if err != nil {
+					ckptErrors.Inc()
+				} else {
+					ckptWrites.Inc()
+					ckptBytes.Set(float64(len(data)))
+				}
+			})
+			if err == nil {
+				res.Checkpoints++
+				stateInfo.Writes = res.Checkpoints
+				stateInfo.LastSavedAt = now
+				stateInfo.LastBytes = len(data)
+				if statePub != nil {
+					statePub.PublishState(stateInfo)
+				}
+			}
+		}
+
+		// 5. Publish to the sink and pace.
 		if sink != nil {
 			sink.PublishSnapshot(lk.Snapshot())
 			if evs := tracer.Events(); len(evs) > published {

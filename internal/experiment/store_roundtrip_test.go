@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestFleetCheckpointRoundtrip is the tentpole acceptance test for the
+// durable-state layer: a fleet simulation whose entire control plane is
+// checkpointed mid-run — serialized through the store envelope, torn down,
+// and restored from the decoded bytes — must produce a byte-identical
+// Table I to an uninterrupted run, at every worker count. Any state the
+// snapshot misses, any field the restore mangles, any float that drifts
+// through JSON shows up as a diverging table.
+func TestFleetCheckpointRoundtrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet simulations")
+	}
+	ref := func() string {
+		tbl, _, err := RunTable1(smokeFleetCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl.Format()
+	}()
+
+	// One eval day at a 5-minute step is 288 ticks; checkpoint mid-run.
+	for _, workers := range []int{1, 2, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			cfg := smokeFleetCfg()
+			cfg.Workers = workers
+			cfg.CheckpointTick = 100
+			tbl, _, err := RunTable1(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := tbl.Format(); got != ref {
+				t.Errorf("checkpointed run diverges from uninterrupted run:\n--- uninterrupted ---\n%s\n--- checkpointed ---\n%s", ref, got)
+			}
+		})
+	}
+
+	// Checkpoint staleness must not matter either: restoring at a different
+	// tick still reproduces the same run.
+	cfg := smokeFleetCfg()
+	cfg.CheckpointTick = 250
+	tbl, _, err := RunTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Format(); got != ref {
+		t.Errorf("late checkpoint diverges:\n%s\nvs\n%s", ref, got)
+	}
+}
+
+// TestFleetCheckpointObserved: with the observability layer on, a rebuilt
+// agent resolves the same series identities, so the merged snapshot of a
+// checkpointed run matches the uninterrupted one exactly.
+func TestFleetCheckpointObserved(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet simulations")
+	}
+	run := func(checkpointTick int) string {
+		cfg := smokeFleetCfg()
+		cfg.CheckpointTick = checkpointTick
+		_, _, ob, err := RunTable1Observed(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := ob.Metrics.WriteProm(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	ref := run(0)
+	if got := run(100); got != ref {
+		t.Error("observed metrics diverge between checkpointed and uninterrupted runs")
+	}
+}

@@ -2,12 +2,15 @@ package experiment
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"smartoclock/internal/metrics"
 	"smartoclock/internal/obs"
+	"smartoclock/internal/store"
 )
 
 // table1Series runs the observed Table I at smoke scale with continuous
@@ -206,6 +209,15 @@ type captureSink struct {
 func (c *captureSink) PublishSnapshot(s *metrics.Snapshot) { c.snaps++; c.last = s }
 func (c *captureSink) PublishEvents(evs []obs.Event)       { c.events += len(evs) }
 
+// stateSink additionally records durable-state publications, exercising the
+// optional PublishState interface RunLive probes for.
+type stateSink struct {
+	captureSink
+	states []store.StateInfo
+}
+
+func (c *stateSink) PublishState(info store.StateInfo) { c.states = append(c.states, info) }
+
 // TestRunLiveSmoke boots the live networked mode flat out on loopback: the
 // control plane must actually cross the TCP links (transport series appear
 // on both nodes) and the sink must receive one snapshot per tick.
@@ -235,5 +247,98 @@ func TestRunLiveSmoke(t *testing.T) {
 	}
 	if sink.events == 0 {
 		t.Fatal("no trace events published")
+	}
+}
+
+// TestRunLiveCheckpointRestore runs live mode with periodic checkpointing,
+// verifies the checkpoint file on disk is a valid envelope with the full
+// control plane in it, then warm-starts a second run from it.
+func TestRunLiveCheckpointRestore(t *testing.T) {
+	cfg := DefaultLiveConfig()
+	cfg.Duration = 10 * time.Minute
+	cfg.Pace = 0
+	cfg.Servers = 2
+	cfg.CheckpointPath = filepath.Join(t.TempDir(), "state.json")
+	cfg.CheckpointEvery = 2 * time.Minute
+
+	sink := &stateSink{}
+	res, err := RunLive(cfg, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCkpts := int(cfg.Duration / cfg.CheckpointEvery)
+	if res.Checkpoints != wantCkpts {
+		t.Fatalf("checkpoints = %d, want %d", res.Checkpoints, wantCkpts)
+	}
+	if res.Restored {
+		t.Fatal("first run claims to be restored")
+	}
+
+	// The sink saw the initial publication plus one per checkpoint, and the
+	// final state matches the run's bookkeeping.
+	if len(sink.states) != wantCkpts+1 {
+		t.Fatalf("state publications = %d, want %d", len(sink.states), wantCkpts+1)
+	}
+	last := sink.states[len(sink.states)-1]
+	if last.Writes != wantCkpts || last.CheckpointPath != cfg.CheckpointPath {
+		t.Fatalf("final state info = %+v", last)
+	}
+	if last.LastBytes <= 0 || last.LastSavedAt.IsZero() {
+		t.Fatalf("final state info missing save details: %+v", last)
+	}
+
+	// The checkpoint metrics made it into the published snapshot.
+	writes := sink.last.Find("checkpoint_writes_total", nil)
+	if writes == nil || writes.Value != float64(wantCkpts) {
+		t.Fatalf("checkpoint_writes_total = %+v, want %d", writes, wantCkpts)
+	}
+
+	// The file on disk is a valid envelope holding the whole control plane.
+	var cp store.Checkpoint
+	savedAt, err := store.Load(cfg.CheckpointPath, &cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !savedAt.Equal(last.LastSavedAt) {
+		t.Fatalf("file saved at %v, state info says %v", savedAt, last.LastSavedAt)
+	}
+	if cp.GOA == nil || len(cp.SOAs) != cfg.Servers || len(cp.Servers) != cfg.Servers {
+		t.Fatalf("checkpoint incomplete: goa=%v soas=%d servers=%d",
+			cp.GOA != nil, len(cp.SOAs), len(cp.Servers))
+	}
+
+	// Warm-start a second run from the checkpoint.
+	cfg2 := cfg
+	cfg2.CheckpointPath = ""
+	cfg2.CheckpointEvery = 0
+	cfg2.RestorePath = cfg.CheckpointPath
+	sink2 := &stateSink{}
+	res2, err := RunLive(cfg2, sink2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Restored {
+		t.Fatal("second run did not report a warm start")
+	}
+	if res2.Ticks != int(cfg2.Duration/cfg2.Tick) {
+		t.Fatalf("restored run ticks = %d", res2.Ticks)
+	}
+	if len(sink2.states) == 0 {
+		t.Fatal("restored run published no state info")
+	}
+	first := sink2.states[0]
+	if first.RestoredFrom != cfg2.RestorePath || !first.RestoredAt.Equal(savedAt) {
+		t.Fatalf("restored state info = %+v", first)
+	}
+
+	// A corrupt checkpoint must fail the run, not silently cold-start.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg3 := cfg2
+	cfg3.RestorePath = bad
+	if _, err := RunLive(cfg3, &stateSink{}); err == nil {
+		t.Fatal("restore from corrupt file succeeded")
 	}
 }

@@ -66,6 +66,28 @@ func (r *OCRecorder) Requested() *timeseries.Series { return r.requested }
 // Granted returns the raw granted-cores series.
 func (r *OCRecorder) Granted() *timeseries.Series { return r.granted }
 
+// OCRecorderState is the serializable state of an OCRecorder.
+type OCRecorderState struct {
+	Requested *timeseries.Series `json:"requested"`
+	Granted   *timeseries.Series `json:"granted"`
+}
+
+// Snapshot captures the recorded series (deep copies).
+func (r *OCRecorder) Snapshot() *OCRecorderState {
+	return &OCRecorderState{Requested: r.requested.Clone(), Granted: r.granted.Clone()}
+}
+
+// Restore replaces the recorded series from a snapshot (deep copies, so the
+// snapshot stays independent of subsequent recording).
+func (r *OCRecorder) Restore(st *OCRecorderState) {
+	if st.Requested != nil {
+		r.requested = st.Requested.Clone()
+	}
+	if st.Granted != nil {
+		r.granted = st.Granted.Clone()
+	}
+}
+
 // Template builds the overclock template from all recorded observations
 // using per-day median aggregation, mirroring the power templates.
 func (r *OCRecorder) Template() *OCTemplate {

@@ -12,6 +12,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -22,6 +23,7 @@ import (
 
 	"smartoclock/internal/metrics"
 	"smartoclock/internal/obs"
+	"smartoclock/internal/store"
 )
 
 // DefaultTailCap bounds the event ring when NewServer is given a
@@ -89,9 +91,10 @@ func (r *Ring) Tail(n int) []obs.Event {
 
 // Server owns the published telemetry state and the HTTP listener.
 type Server struct {
-	mu   sync.Mutex
-	snap *metrics.Snapshot
-	ring *Ring
+	mu    sync.Mutex
+	snap  *metrics.Snapshot
+	ring  *Ring
+	state store.StateInfo
 
 	srv *http.Server
 	ln  net.Listener
@@ -113,6 +116,13 @@ func (s *Server) PublishSnapshot(snap *metrics.Snapshot) {
 	s.mu.Unlock()
 }
 
+// PublishState replaces the durable-state status served at /statez.
+func (s *Server) PublishState(info store.StateInfo) {
+	s.mu.Lock()
+	s.state = info
+	s.mu.Unlock()
+}
+
 // PublishEvents appends trace events to the tail ring.
 func (s *Server) PublishEvents(events []obs.Event) {
 	if len(events) == 0 {
@@ -127,11 +137,13 @@ func (s *Server) PublishEvents(events []obs.Event) {
 //
 //	/metrics           Prometheus text exposition of the latest snapshot
 //	/healthz           liveness probe, always "ok"
+//	/statez            durable-state status (checkpoint/restore) as JSON
 //	/trace/tail?n=100  last n trace events as JSON lines (default 100)
 //	/debug/pprof/*     standard Go profiling endpoints
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/statez", s.handleState)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -154,6 +166,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		// Headers are gone; all we can do is drop the connection.
 		return
 	}
+}
+
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	info := s.state
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(info)
 }
 
 func (s *Server) handleTail(w http.ResponseWriter, r *http.Request) {

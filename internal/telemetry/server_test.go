@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 
 	"smartoclock/internal/metrics"
 	"smartoclock/internal/obs"
+	"smartoclock/internal/store"
 )
 
 var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
@@ -98,6 +100,46 @@ func TestMetricsEndpoint(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, body)
 		}
+	}
+}
+
+func TestStatez(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	// Before any publish the zero StateInfo serves: no checkpoint path, zero
+	// writes.
+	code, body := get(t, ts.URL+"/statez")
+	if code != http.StatusOK {
+		t.Fatalf("pre-publish /statez status = %d", code)
+	}
+	var zero store.StateInfo
+	if err := json.Unmarshal([]byte(body), &zero); err != nil {
+		t.Fatalf("pre-publish /statez not JSON: %v\n%s", err, body)
+	}
+	if zero.Writes != 0 || zero.CheckpointPath != "" {
+		t.Fatalf("pre-publish state = %+v, want zero", zero)
+	}
+
+	want := store.StateInfo{
+		CheckpointPath: "/var/run/soc/state.json",
+		LastSavedAt:    t0.Add(5 * time.Minute),
+		LastBytes:      4096,
+		Writes:         7,
+		RestoredFrom:   "/var/run/soc/old.json",
+		RestoredAt:     t0,
+	}
+	s.PublishState(want)
+
+	code, body = get(t, ts.URL+"/statez")
+	if code != http.StatusOK {
+		t.Fatalf("/statez status = %d", code)
+	}
+	var got store.StateInfo
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/statez not JSON: %v\n%s", err, body)
+	}
+	if got != want {
+		t.Fatalf("/statez = %+v, want %+v", got, want)
 	}
 }
 

@@ -195,6 +195,12 @@ func (s *Series) Integral() float64 {
 // Resample returns a new series with the given step. When the new step is a
 // multiple of the old the samples are averaged within each new interval;
 // when finer, samples are repeated.
+//
+// Only whole output intervals are emitted: a partial tail — source samples
+// covering less than one full new step past the last whole interval — is
+// dropped, so the resampled range may end up to (step - 1ns) short of the
+// original End(). Callers averaging or integrating across a resample should
+// either pick a step that divides the span or account for the truncation.
 func (s *Series) Resample(step time.Duration) *Series {
 	if step <= 0 {
 		panic(fmt.Sprintf("timeseries: non-positive step %v", step))

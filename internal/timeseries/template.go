@@ -1,6 +1,7 @@
 package timeseries
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"time"
@@ -131,6 +132,34 @@ func (t *DayTemplate) SampleCount(i int) int {
 		return 0
 	}
 	return t.counts[i]
+}
+
+// dayTemplateJSON is the wire form of a DayTemplate; it exists so the
+// unexported per-slot sample counts survive a checkpoint/restore cycle.
+type dayTemplateJSON struct {
+	Step   time.Duration `json:"step"`
+	Slots  []float64     `json:"slots"`
+	Kind   DayKind       `json:"kind"`
+	Counts []int         `json:"counts,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler, including the diagnostic sample
+// counts that the exported fields alone would lose.
+func (t *DayTemplate) MarshalJSON() ([]byte, error) {
+	return json.Marshal(dayTemplateJSON{Step: t.Step, Slots: t.Slots, Kind: t.Kind, Counts: t.counts})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *DayTemplate) UnmarshalJSON(data []byte) error {
+	var w dayTemplateJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	t.Step = w.Step
+	t.Slots = w.Slots
+	t.Kind = w.Kind
+	t.counts = w.Counts
+	return nil
 }
 
 // Max returns the maximum slot value.
