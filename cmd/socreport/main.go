@@ -1,6 +1,7 @@
 // Command socreport runs the complete reproduction sweep — every
-// characterization figure, the cluster emulation, the fleet simulation and
-// the ablations — and writes one markdown report.
+// characterization figure, the cluster emulation, the fleet simulation,
+// the ablations, the chaos experiment and the policy × scenario zoo — and
+// writes one markdown report.
 //
 // Usage:
 //
@@ -131,6 +132,23 @@ func main() {
 	fmt.Fprintf(w, "```\n%s```\n", experiment.FormatAlerts(chaosRes.Alerts).Format())
 	if chaosRes.Err != nil {
 		log.Fatal(chaosRes.Err)
+	}
+
+	section("Policy × scenario zoo")
+	log.Print("running the policy zoo...")
+	zooCfg := experiment.DefaultZooConfig()
+	zooCfg.Seed = *seed
+	if *fast {
+		zooCfg.Duration = 30 * time.Minute
+	}
+	zooRes, err := experiment.RunZoo(zooCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(w, "```\n%s```\n", zooRes.Format())
+	fmt.Fprintf(w, "Every certified policy set ran every adversarial scenario with the invariant checker armed; the violation column must be all zeros.\n")
+	if zooRes.Err != nil {
+		log.Fatal(zooRes.Err)
 	}
 
 	if *out != "" {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	socsim [-racks N] [-traindays D] [-evaldays D] [-seed S] [-table1] [-fig15] [-chaos] [-recovery]
+//	socsim [-racks N] [-traindays D] [-evaldays D] [-seed S] [-table1] [-fig15] [-chaos] [-recovery] [-zoo]
 //
 // With no experiment flag the paper experiments run (Table I, Fig 15,
 // ablations). -chaos runs the fault-injection experiment instead: a rack
@@ -14,7 +14,12 @@
 // runs the crash-recovery experiment: a control-plane crash mid-run,
 // comparing cold restarts against warm restarts from checkpoints of
 // varying staleness (time-to-first-grant, grant-availability gap, budget
-// divergence from an uninterrupted oracle).
+// divergence from an uninterrupted oracle). -zoo runs the policy ×
+// scenario stress matrix: every certified policy set crossed with every
+// adversarial zoo scenario (flash crowds, correlated surges, outlier-day
+// storms, mixed hardware, sensor drift), each cell watched by the
+// invariant checker; -zoo-policies and -zoo-scenarios narrow the matrix
+// (the unsafe "canary" set is addressable by name for negative runs).
 package main
 
 import (
@@ -29,6 +34,8 @@ import (
 	"smartoclock/internal/experiment"
 	"smartoclock/internal/metrics"
 	"smartoclock/internal/obs"
+	"smartoclock/internal/policy"
+	"smartoclock/internal/trace"
 )
 
 // writeMetrics writes a snapshot to path: Prometheus text exposition by
@@ -112,6 +119,10 @@ func main() {
 	runAblations := flag.Bool("ablations", false, "run only the design-choice ablations")
 	runChaos := flag.Bool("chaos", false, "run the fault-injection experiment (gOA outage, lossy control plane, sOA crashes)")
 	runRecovery := flag.Bool("recovery", false, "run the crash-recovery experiment (cold vs warm restart from checkpoints)")
+	runZoo := flag.Bool("zoo", false, "run the policy × scenario stress matrix with the invariant checker armed")
+	zooPolicies := flag.String("zoo-policies", "", "comma-separated policy sets for -zoo (default: all certified sets; 'canary' selects the unsafe negative control)")
+	zooScenarios := flag.String("zoo-scenarios", "", "comma-separated zoo scenarios for -zoo (default: the full catalog)")
+	zooDuration := flag.Duration("zoo-duration", 0, "override the simulated duration of each -zoo cell")
 	metricsOut := flag.String("metrics-out", "", "write the metrics snapshot of the Table I run (or -chaos run) here; .json selects JSON, anything else Prometheus text")
 	traceOut := flag.String("trace-out", "", "write the structured event trace of the Table I run (or -chaos run) here as JSON Lines")
 	seriesOut := flag.String("series-out", "", "write the recorded time series of the Table I run (or -chaos run) here; .json selects JSON, anything else CSV")
@@ -140,6 +151,63 @@ func main() {
 		writeTrace(*traceOut, res.Trace)
 		writeSeries(*seriesOut, res.Series)
 		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		return
+	}
+
+	if *runZoo {
+		cfg := experiment.DefaultZooConfig()
+		cfg.Seed = *seed
+		cfg.Workers = *workers
+		if *zooDuration > 0 {
+			cfg.Duration = *zooDuration
+		}
+		for _, name := range strings.Split(*zooPolicies, ",") {
+			if name = strings.TrimSpace(name); name == "" {
+				continue
+			}
+			f, err := policy.Lookup(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.Policies = append(cfg.Policies, f)
+		}
+		for _, name := range strings.Split(*zooScenarios, ",") {
+			if name = strings.TrimSpace(name); name == "" {
+				continue
+			}
+			sc, err := trace.ZooByName(name, cfg.Seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.Scenarios = append(cfg.Scenarios, sc)
+		}
+		pols, scs := "all certified sets", "full catalog"
+		if len(cfg.Policies) > 0 {
+			pols = *zooPolicies
+		}
+		if len(cfg.Scenarios) > 0 {
+			scs = *zooScenarios
+		}
+		fmt.Fprintf(os.Stderr, "socsim: zoo run — policies %s × scenarios %s, %v per cell (%d workers)...\n",
+			pols, scs, cfg.Duration, *workers)
+		res, err := experiment.RunZoo(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Format())
+		if res.Err != nil {
+			for _, c := range res.Cells {
+				for i, v := range c.Violations {
+					if i == 3 {
+						fmt.Fprintf(os.Stderr, "socsim: %s×%s: ... %d more violations\n",
+							c.Policy, c.Scenario, len(c.Violations)-i)
+						break
+					}
+					fmt.Fprintf(os.Stderr, "socsim: %s×%s: %v\n", c.Policy, c.Scenario, v)
+				}
+			}
 			log.Fatal(res.Err)
 		}
 		return

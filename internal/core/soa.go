@@ -5,10 +5,33 @@ import (
 	"time"
 
 	"smartoclock/internal/lifetime"
+	"smartoclock/internal/policy"
 	"smartoclock/internal/power"
 	"smartoclock/internal/predict"
 	"smartoclock/internal/timeseries"
 )
+
+// AdmissionAudit records one power-side admission decision at the moment it
+// was made, with the full modeled arithmetic. The feedback loop later steps
+// any over-grant back down to the budget, which would mask an unsafe
+// admission policy from steady-state invariants — so the
+// AdmissionWithinBudget invariant audits decisions here, at grant time.
+type AdmissionAudit struct {
+	Server            string
+	VM                string
+	Time              time.Time
+	PredictedWatts    float64
+	ActiveDeltaWatts  float64
+	RequestDeltaWatts float64
+	BudgetWatts       float64
+	Granted           bool
+	Policy            string
+}
+
+// TotalWatts returns the modeled worst-case draw had the request run.
+func (a AdmissionAudit) TotalWatts() float64 {
+	return a.PredictedWatts + a.ActiveDeltaWatts + a.RequestDeltaWatts
+}
 
 // SOAConfig parameterizes a Server Overclocking Agent.
 type SOAConfig struct {
@@ -62,6 +85,15 @@ type SOAConfig struct {
 	// core whose measured aging has exhausted its envelope cannot be
 	// overclocked even if time budget remains.
 	WearGate func(core int) bool
+
+	// Policies selects the prediction/admission/exploration strategies.
+	// The zero Factory means the paper defaults. Each sOA builds its own
+	// Set from the factory, so configs stay safely copyable across agents.
+	Policies policy.Factory
+	// OnAdmit, when non-nil, receives every power-side admission decision
+	// as it is made (granted and rejected alike). The invariant checker's
+	// AdmissionWithinBudget sink hangs off this hook.
+	OnAdmit func(AdmissionAudit)
 }
 
 // DefaultSOAConfig returns the configuration used across the evaluation.
@@ -122,10 +154,14 @@ type SOA struct {
 	// admission and exhaustion checks.
 	powerTemplate *timeseries.WeekTemplate
 
+	// pol holds this agent's policy instances (never shared: they carry
+	// per-agent adaptive state). The sOA owns the mode machine and its
+	// timers; the policies own the numbers.
+	pol policy.Set
+
 	// Exploration state.
 	mode          exploreMode
 	extraWatts    float64
-	backoff       time.Duration
 	nextExploreAt time.Time
 	lastBumpAt    time.Time
 	exploitUntil  time.Time
@@ -177,19 +213,31 @@ func NewSOA(cfg SOAConfig, host Host, budgets *lifetime.CoreBudgets, staticBudge
 	if cfg.ProfileStep <= 0 {
 		panic(fmt.Sprintf("core: non-positive ProfileStep %v", cfg.ProfileStep))
 	}
+	factory := cfg.Policies
+	if factory.New == nil {
+		factory = policy.Default()
+	}
 	return &SOA{
-		cfg:               cfg,
-		host:              host,
-		budgets:           budgets,
-		staticBudget:      staticBudget,
+		cfg:          cfg,
+		host:         host,
+		budgets:      budgets,
+		staticBudget: staticBudget,
+		pol: factory.New(policy.Params{
+			StepWatts:      cfg.ExploreStepWatts,
+			InitialBackoff: cfg.InitialBackoff,
+			MaxBackoff:     cfg.MaxBackoff,
+		}),
 		sessions:          make(map[string]*Session),
 		powerRec:          timeseries.New(start, cfg.ProfileStep),
 		ocRec:             predict.NewOCRecorder(start, cfg.ProfileStep),
 		nextSlotAt:        start.Add(cfg.ProfileStep),
-		backoff:           cfg.InitialBackoff,
 		lastExhaustSignal: make(map[ExhaustionKind]time.Time),
 	}
 }
+
+// Policies returns the agent's live policy instances (for reports and
+// tests). Callers must not share them with another agent.
+func (a *SOA) Policies() policy.Set { return a.pol }
 
 // Name returns the host's name.
 func (a *SOA) Name() string { return a.host.Name() }
@@ -235,24 +283,21 @@ func (a *SOA) BudgetAt(ts time.Time) float64 {
 // ExtraWatts returns the current exploration surplus.
 func (a *SOA) ExtraWatts() float64 { return a.extraWatts }
 
+// predictInput assembles the evidence the Predictor policy consults.
+func (a *SOA) predictInput() policy.PredictInput {
+	return policy.PredictInput{
+		Template:     a.powerTemplate,
+		Step:         a.cfg.ProfileStep,
+		CurrentWatts: a.host.Power(),
+	}
+}
+
 // predictedBaseline returns the predicted non-overclocked server power over
-// the admission horizon (the max of the template over [now, now+horizon]),
-// falling back to the current reading when no template exists yet.
+// the admission horizon, as forecast by the Predictor policy (the default
+// policy takes the max of the template over [now, now+horizon], falling back
+// to the current reading when no template exists yet).
 func (a *SOA) predictedBaseline(now time.Time, horizon time.Duration) float64 {
-	if a.powerTemplate == nil {
-		return a.host.Power()
-	}
-	maxP := 0.0
-	step := a.cfg.ProfileStep
-	if step <= 0 {
-		step = 5 * time.Minute
-	}
-	for ts := now; !ts.After(now.Add(horizon)); ts = ts.Add(step) {
-		if v := a.powerTemplate.At(ts); v > maxP {
-			maxP = v
-		}
-	}
-	return maxP
+	return a.pol.Predictor.Baseline(now, horizon, a.predictInput())
 }
 
 // currentOCDelta returns the modeled extra watts of all active sessions at
@@ -334,8 +379,29 @@ func (a *SOA) Request(now time.Time, req Request) Decision {
 			return Decision{Reason: RejectPower}
 		}
 	} else {
-		predicted := a.predictedBaseline(now, horizon) + a.currentOCDelta() + delta
-		if predicted > a.BudgetAt(now) {
+		in := policy.AdmitInput{
+			Now:               now,
+			PredictedWatts:    a.predictedBaseline(now, horizon),
+			ActiveDeltaWatts:  a.currentOCDelta(),
+			RequestDeltaWatts: delta,
+			BudgetWatts:       a.BudgetAt(now),
+			RequestCores:      req.Cores,
+		}
+		granted := a.pol.Admission.Admit(in)
+		if a.cfg.OnAdmit != nil {
+			a.cfg.OnAdmit(AdmissionAudit{
+				Server:            a.host.Name(),
+				VM:                req.VM,
+				Time:              now,
+				PredictedWatts:    in.PredictedWatts,
+				ActiveDeltaWatts:  in.ActiveDeltaWatts,
+				RequestDeltaWatts: in.RequestDeltaWatts,
+				BudgetWatts:       in.BudgetWatts,
+				Granted:           granted,
+				Policy:            a.pol.Admission.Name(),
+			})
+		}
+		if !granted {
 			a.rejected++
 			a.recentRejectAt = now
 			a.hasRecentReject = true
@@ -426,16 +492,7 @@ func (a *SOA) OnRackEvent(now time.Time, ev power.Event) {
 		if a.cfg.IgnoreWarnings || (a.mode != modeExploring && a.extraWatts == 0) {
 			return
 		}
-		a.extraWatts -= a.cfg.ExploreStepWatts
-		if a.extraWatts < 0 {
-			a.extraWatts = 0
-		}
-		a.mode = modeIdle
-		a.nextExploreAt = now.Add(a.backoff)
-		a.backoff *= 2
-		if a.backoff > a.cfg.MaxBackoff {
-			a.backoff = a.cfg.MaxBackoff
-		}
+		a.applySetback(now, false)
 		a.obsWarnBackoff(now)
 		// Shed immediately: the whole point of the warning is avoiding
 		// the capping event that would otherwise follow within seconds.
@@ -444,16 +501,26 @@ func (a *SOA) OnRackEvent(now time.Time, ev power.Event) {
 		if a.cfg.Naive {
 			return
 		}
-		a.extraWatts = 0
-		a.mode = modeIdle
-		a.nextExploreAt = now.Add(a.backoff)
-		a.backoff *= 2
-		if a.backoff > a.cfg.MaxBackoff {
-			a.backoff = a.cfg.MaxBackoff
-		}
+		a.applySetback(now, true)
 		a.obsCapReset(now)
 		a.feedbackLoop(now)
 	}
+}
+
+// applySetback consults the Exploration policy after a rack warning or cap,
+// clamps the surplus it wants to retain into [0, extraWatts] (a cap always
+// sheds everything), and schedules the back-off.
+func (a *SOA) applySetback(now time.Time, capped bool) {
+	keep, wait := a.pol.Exploration.Setback(now, capped, a.extraWatts)
+	if capped || keep < 0 {
+		keep = 0
+	}
+	if keep > a.extraWatts {
+		keep = a.extraWatts
+	}
+	a.extraWatts = keep
+	a.mode = modeIdle
+	a.nextExploreAt = now.Add(wait)
 }
 
 // sortedSessions returns active sessions ordered low→high priority
@@ -651,20 +718,30 @@ func (a *SOA) manageExploration(now time.Time) {
 			return
 		}
 		a.mode = modeExploring
-		a.extraWatts += a.cfg.ExploreStepWatts
+		a.extraWatts += a.pol.Exploration.Step(now)
 		a.lastBumpAt = now
 		a.obsExploreBump(now)
 	case modeExploring:
+		if len(a.sessions) == 0 && !a.constrained() {
+			// Every session stopped mid-exploration and no demand is
+			// pending. Nothing ran at the raised budget, so it was never
+			// confirmed safe: shed the surplus and return to idle without
+			// resetting the back-off. (Treating this as a success used to
+			// exploit an unconfirmed budget and wipe the back-off.)
+			a.extraWatts = 0
+			a.mode = modeIdle
+			return
+		}
 		if !a.constrained() {
 			// Everything reached target: the budget is safe — exploit it.
 			a.mode = modeExploiting
 			a.exploitUntil = now.Add(a.cfg.ExploitTime)
-			a.backoff = a.cfg.InitialBackoff
+			a.pol.Exploration.Confirmed(now)
 			a.obsExploit(now)
 			return
 		}
 		if now.Sub(a.lastBumpAt) >= a.cfg.ExploreConfirm {
-			a.extraWatts += a.cfg.ExploreStepWatts
+			a.extraWatts += a.pol.Exploration.Step(now)
 			a.lastBumpAt = now
 			a.obsExploreBump(now)
 		}
@@ -678,7 +755,17 @@ func (a *SOA) manageExploration(now time.Time) {
 // recordProfile closes profile slots that have elapsed.
 func (a *SOA) recordProfile(now time.Time) {
 	for !now.Before(a.nextSlotAt) {
-		a.powerRec.Append(a.host.Power())
+		p := a.host.Power()
+		a.powerRec.Append(p)
+		// The predictor forecasts the non-overclocked baseline, and
+		// admission adds the modeled overclock deltas back on top — so
+		// observations are corrected by the modeled draw of the active
+		// sessions to avoid double-counting overclock power.
+		obs := p - a.currentOCDelta()
+		if obs < 0 {
+			obs = 0
+		}
+		a.pol.Predictor.Observe(a.nextSlotAt, obs)
 		a.ocRec.Record(a.slotRequested, a.ActiveOCCores())
 		a.slotRequested = 0
 		a.nextSlotAt = a.nextSlotAt.Add(a.cfg.ProfileStep)
@@ -725,8 +812,9 @@ func (a *SOA) checkExhaustion(now time.Time) {
 	if a.powerTemplate != nil {
 		delta := a.currentOCDelta()
 		step := a.cfg.ProfileStep
+		in := a.predictInput()
 		for ts := now; !ts.After(now.Add(window)); ts = ts.Add(step) {
-			if a.powerTemplate.At(ts)+delta > a.BudgetAt(ts) {
+			if a.pol.Predictor.At(ts, in)+delta > a.BudgetAt(ts) {
 				a.signalExhaustion(now, ExhaustPower, ts)
 				break
 			}

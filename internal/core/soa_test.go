@@ -877,3 +877,77 @@ func TestDecentralizedFaultTolerance(t *testing.T) {
 		t.Fatal("local session lost without the gOA")
 	}
 }
+
+// TestSessionStopMidExplorationShedsUnconfirmedBudget is the regression
+// test for the back-off audit: when every session stops while the sOA is
+// exploring and no demand is pending, the raised budget was never confirmed
+// safe (nothing ran at it). The sOA must shed the surplus and return to
+// idle WITHOUT resetting the back-off — the old code treated the vacuously
+// unconstrained state as a success, exploited the unconfirmed budget for
+// ExploitTime and wiped the back-off schedule.
+func TestSessionStopMidExplorationShedsUnconfirmedBudget(t *testing.T) {
+	a, h := newTestSOA(0)
+	h.setAllUtil(0.5)
+	a.cfg.AdmitOverride = func(Request, float64) bool { return true }
+	a.Request(soaStart, ocReq("vm1", 4))
+
+	// Enter exploration, then take a warning so the back-off doubles.
+	now := soaStart.Add(time.Second)
+	a.Tick(now)
+	if a.mode != modeExploring {
+		t.Fatalf("setup: mode = %v, want exploring", a.mode)
+	}
+	a.OnRackEvent(now, power.Event{Kind: power.EventWarning})
+	doubled := a.pol.Exploration.Snapshot().Backoff
+	if doubled != 2*a.cfg.InitialBackoff {
+		t.Fatalf("setup: backoff = %v, want %v", doubled, 2*a.cfg.InitialBackoff)
+	}
+
+	// Resume exploring after the back-off, then stop the session mid-flight.
+	now = now.Add(a.cfg.InitialBackoff + time.Second)
+	a.Tick(now)
+	if a.mode != modeExploring || a.ExtraWatts() == 0 {
+		t.Fatalf("setup: mode = %v extra = %v, want exploring with surplus", a.mode, a.ExtraWatts())
+	}
+	a.Stop(now, "vm1")
+
+	now = now.Add(time.Second)
+	a.Tick(now)
+	if a.mode != modeIdle {
+		t.Fatalf("mode = %v, want idle after the last session stopped", a.mode)
+	}
+	if a.ExtraWatts() != 0 {
+		t.Fatalf("extra = %v, want 0: the raised budget was never confirmed", a.ExtraWatts())
+	}
+	if got := a.pol.Exploration.Snapshot().Backoff; got != doubled {
+		t.Fatalf("backoff = %v, want %v (session stop must not reset it)", got, doubled)
+	}
+}
+
+// TestExplorationContinuesOnRejectDemandWithoutSessions pins the companion
+// branch: zero sessions but a recent power-side rejection still counts as
+// constrained demand, so the sOA keeps exploring rather than shedding.
+func TestExplorationContinuesOnRejectDemandWithoutSessions(t *testing.T) {
+	a, h := newTestSOA(0) // zero budget: every request rejects on power
+	h.setAllUtil(0.5)
+	if d := a.Request(soaStart, ocReq("vm1", 4)); d.Granted {
+		t.Fatal("setup: request must reject on power")
+	}
+	now := soaStart.Add(time.Second)
+	a.Tick(now) // constrained via recent reject → explore with no sessions
+	if a.mode != modeExploring || a.ExtraWatts() == 0 {
+		t.Fatalf("mode = %v extra = %v, want exploring on rejected demand", a.mode, a.ExtraWatts())
+	}
+	// Still inside the reject window: keep exploring.
+	now = now.Add(time.Second)
+	a.Tick(now)
+	if a.mode != modeExploring {
+		t.Fatalf("mode = %v, want still exploring inside the reject window", a.mode)
+	}
+	// Once the rejection ages out, demand is gone: shed and idle.
+	now = now.Add(2*a.cfg.ExploreConfirm + time.Second)
+	a.Tick(now)
+	if a.mode != modeIdle || a.ExtraWatts() != 0 {
+		t.Fatalf("mode = %v extra = %v, want idle with no surplus", a.mode, a.ExtraWatts())
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"smartoclock/internal/lifetime"
+	"smartoclock/internal/policy"
 	"smartoclock/internal/predict"
 	"smartoclock/internal/timeseries"
 )
@@ -69,12 +70,17 @@ type SOAState struct {
 	StaticBudget  float64                  `json:"static_budget"`
 	PowerTemplate *timeseries.WeekTemplate `json:"power_template,omitempty"`
 
-	Mode          int           `json:"mode"`
-	ExtraWatts    float64       `json:"extra_watts"`
-	Backoff       time.Duration `json:"backoff"`
-	NextExploreAt time.Time     `json:"next_explore_at"`
-	LastBumpAt    time.Time     `json:"last_bump_at"`
-	ExploitUntil  time.Time     `json:"exploit_until"`
+	Mode       int     `json:"mode"`
+	ExtraWatts float64 `json:"extra_watts"`
+	// Backoff mirrors Exploration.Backoff for snapshots written before the
+	// policy layer existed; Restore falls back to it when Exploration is
+	// absent.
+	Backoff time.Duration `json:"backoff"`
+	// Exploration is the exploration policy's full adaptive state.
+	Exploration   *policy.ExplorationState `json:"exploration,omitempty"`
+	NextExploreAt time.Time                `json:"next_explore_at"`
+	LastBumpAt    time.Time                `json:"last_bump_at"`
+	ExploitUntil  time.Time                `json:"exploit_until"`
 
 	Sessions []SessionState `json:"sessions,omitempty"`
 
@@ -107,7 +113,6 @@ func (a *SOA) Snapshot() *SOAState {
 		PowerTemplate:   a.powerTemplate,
 		Mode:            int(a.mode),
 		ExtraWatts:      a.extraWatts,
-		Backoff:         a.backoff,
 		NextExploreAt:   a.nextExploreAt,
 		LastBumpAt:      a.lastBumpAt,
 		ExploitUntil:    a.exploitUntil,
@@ -122,6 +127,9 @@ func (a *SOA) Snapshot() *SOAState {
 		Granted:         a.granted,
 		Rejected:        a.rejected,
 	}
+	expl := a.pol.Exploration.Snapshot()
+	st.Exploration = &expl
+	st.Backoff = expl.Backoff
 	if a.budgets != nil {
 		st.Budgets = a.budgets.Snapshot()
 	}
@@ -168,7 +176,11 @@ func (a *SOA) Restore(st *SOAState) error {
 	a.powerTemplate = st.PowerTemplate
 	a.mode = exploreMode(st.Mode)
 	a.extraWatts = st.ExtraWatts
-	a.backoff = st.Backoff
+	if st.Exploration != nil {
+		a.pol.Exploration.Restore(*st.Exploration)
+	} else if st.Backoff > 0 {
+		a.pol.Exploration.Restore(policy.ExplorationState{Backoff: st.Backoff})
+	}
 	a.nextExploreAt = st.NextExploreAt
 	a.lastBumpAt = st.LastBumpAt
 	a.exploitUntil = st.ExploitUntil

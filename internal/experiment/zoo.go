@@ -1,0 +1,456 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"smartoclock/internal/agent"
+	"smartoclock/internal/chaos"
+	"smartoclock/internal/cluster"
+	"smartoclock/internal/core"
+	"smartoclock/internal/invariant"
+	"smartoclock/internal/lifetime"
+	"smartoclock/internal/parallel"
+	"smartoclock/internal/policy"
+	"smartoclock/internal/power"
+	"smartoclock/internal/predict"
+	"smartoclock/internal/sim"
+	"smartoclock/internal/stats"
+	"smartoclock/internal/timeseries"
+	"smartoclock/internal/trace"
+)
+
+// The scenario zoo experiment: every policy set crossed with every
+// adversarial scenario, each cell a full multi-rack simulation with the
+// invariant checker watching — including the decision-time admission audit
+// that catches over-granting policies the feedback loop would otherwise
+// mask. The bar is uniform: zero violations in every cell, byte-identical
+// output at any worker count.
+
+// ZooConfig parameterizes the policy × scenario matrix.
+type ZooConfig struct {
+	Seed     int64
+	Start    time.Time
+	Duration time.Duration
+	// Tick is the control cadence (workload updates, sOA ticks, rack
+	// manager ticks, invariant checks).
+	Tick time.Duration
+
+	// Policies are the policy sets to certify; nil means the safe catalog
+	// (policy.Factories()).
+	Policies []policy.Factory
+	// Scenarios are the regimes to run; nil means trace.ZooCatalog(Seed).
+	Scenarios []trace.ZooScenario
+
+	// Mild control-plane faults (always on: a zoo without message loss
+	// certifies less than production sees).
+	DropProb  float64
+	DelayProb float64
+	MaxDelay  time.Duration
+	BaseDelay time.Duration
+
+	// Control-plane cadences.
+	ProfileEvery time.Duration
+	BudgetEvery  time.Duration
+
+	// Per-core overclock time budgets.
+	BudgetEpoch      time.Duration
+	OCBudgetFraction float64
+	// RackLimitScale scales each rack's limit relative to estimated
+	// baseline-plus-half-overclock draw (<1 keeps enforcement busy).
+	RackLimitScale float64
+	// EnforcementGrace bounds how long rack power may exceed the limit
+	// before the invariant fires.
+	EnforcementGrace time.Duration
+
+	// Workers/ShuffleSeed control cell-level parallelism; output is
+	// byte-identical for any values (each cell derives its own seed from
+	// its index, never from dispatch order).
+	Workers     int
+	ShuffleSeed int64
+}
+
+// DefaultZooConfig returns the profile used by `socsim -zoo` and CI: the
+// full safe-policy catalog against the full scenario catalog, 90 minutes
+// of simulated time per cell, 10% message loss.
+func DefaultZooConfig() ZooConfig {
+	return ZooConfig{
+		Seed:             1,
+		Start:            time.Date(2023, 4, 10, 9, 0, 0, 0, time.UTC),
+		Duration:         90 * time.Minute,
+		Tick:             5 * time.Second,
+		DropProb:         0.10,
+		DelayProb:        0.10,
+		MaxDelay:         10 * time.Second,
+		BaseDelay:        50 * time.Millisecond,
+		ProfileEvery:     2 * time.Minute,
+		BudgetEvery:      time.Minute,
+		BudgetEpoch:      time.Hour,
+		OCBudgetFraction: 0.25,
+		RackLimitScale:   0.90,
+		EnforcementGrace: 15 * time.Second,
+	}
+}
+
+// Validate reports whether the configuration is runnable.
+func (c ZooConfig) Validate() error {
+	switch {
+	case c.Tick <= 0 || c.Duration < c.Tick:
+		return fmt.Errorf("experiment: bad zoo tick/duration %v/%v", c.Tick, c.Duration)
+	case c.ProfileEvery <= 0 || c.BudgetEvery <= 0:
+		return fmt.Errorf("experiment: non-positive zoo control cadence")
+	case c.BudgetEpoch <= 0 || c.OCBudgetFraction <= 0:
+		return fmt.Errorf("experiment: bad zoo OC budget %v/%v", c.BudgetEpoch, c.OCBudgetFraction)
+	case c.EnforcementGrace < c.Tick:
+		return fmt.Errorf("experiment: zoo EnforcementGrace %v below one tick %v", c.EnforcementGrace, c.Tick)
+	}
+	return nil
+}
+
+// ZooCellResult is one (policy, scenario) cell of the matrix.
+type ZooCellResult struct {
+	Policy   string
+	Scenario string
+	Ticks    int
+	// Requests/Granted prove the cell wasn't vacuously safe.
+	Requests int
+	Granted  int
+	// Warnings/CapEvents across the cell's racks: enforcement activity.
+	Warnings  int
+	CapEvents int
+	// AdmissionAudits is how many power-side admission decisions the
+	// decision-time audit saw.
+	AdmissionAudits int
+	InvariantChecks int64
+	Violations      []invariant.Violation
+	// Err is non-nil when any invariant was violated.
+	Err error
+}
+
+// ZooResult is the full matrix.
+type ZooResult struct {
+	Cells []ZooCellResult
+	// Err is the first cell failure, nil when the whole matrix is clean.
+	Err error
+}
+
+// driftHost is the sOA-facing view of a server with an imperfect power
+// sensor: every reading is scaled by the scenario's gain while the rack
+// manager and the invariants keep seeing the true draw.
+type driftHost struct {
+	*cluster.Server
+	gain func() float64
+}
+
+func (h *driftHost) Power() float64 { return h.gain() * h.Server.Power() }
+
+// zooServer bundles one server's control state inside a cell.
+type zooServer struct {
+	srv     *cluster.Server
+	host    core.Host
+	agentID string
+	soa     *core.SOA
+	vmCores []int
+}
+
+// RunZooCell executes one (policy, scenario) cell with the given seed.
+func RunZooCell(cfg ZooConfig, f policy.Factory, sc trace.ZooScenario, seed int64) *ZooCellResult {
+	res := &ZooCellResult{Policy: f.Name, Scenario: sc.Name}
+	eng := sim.NewEngine(cfg.Start, seed)
+	end := cfg.Start.Add(cfg.Duration)
+	since := func(now time.Time) time.Duration { return now.Sub(cfg.Start) }
+
+	tr := chaos.NewTransport(chaos.Config{
+		Seed:      seed + 1,
+		DropProb:  cfg.DropProb,
+		DelayProb: cfg.DelayProb,
+		MaxDelay:  cfg.MaxDelay,
+		BaseDelay: cfg.BaseDelay,
+	}, eng, agent.NewBus())
+
+	checker := invariant.NewChecker()
+	bcfg := lifetime.BudgetConfig{Epoch: cfg.BudgetEpoch, Fraction: cfg.OCBudgetFraction, CarryOver: true, MaxCarryOver: 1}
+
+	soaCfg := core.DefaultSOAConfig()
+	soaCfg.ProfileStep = time.Minute
+	soaCfg.ExploreConfirm = 30 * time.Second
+	soaCfg.ExploitTime = 5 * time.Minute
+	soaCfg.InitialBackoff = time.Minute
+	soaCfg.MaxBackoff = 15 * time.Minute
+	soaCfg.DefaultOCHorizon = 5 * time.Minute
+	soaCfg.ExhaustionWindow = 5 * time.Minute
+	soaCfg.AdmissionUtil = 0.7
+	soaCfg.Policies = f
+
+	type zooRack struct {
+		name    string
+		rack    *power.Rack
+		goa     *core.GOA
+		servers []*zooServer
+	}
+	racks := make([]*zooRack, sc.Racks)
+	for r := 0; r < sc.Racks; r++ {
+		r := r
+		zr := &zooRack{name: fmt.Sprintf("zoo-r%d", r)}
+		audit := invariant.AdmissionWithinBudget(checker, zr.name, 0)
+		members := make([]power.Server, 0, sc.ServersPerRack)
+		est, fullOC := 0.0, 0.0
+		for i := 0; i < sc.ServersPerRack; i++ {
+			i := i
+			srv := cluster.NewServer(fmt.Sprintf("%s-s%02d", zr.name, i), sc.HW(r, i), 0)
+			zs := &zooServer{
+				srv:     srv,
+				agentID: fmt.Sprintf("soa/%s", srv.Name()),
+			}
+			zs.host = &driftHost{Server: srv, gain: func() float64 {
+				return sc.SensorGain(r, i, since(eng.Now()))
+			}}
+			zs.vmCores = make([]int, srv.NumCores()/4)
+			for c := range zs.vmCores {
+				zs.vmCores[c] = c
+			}
+			// Limit estimate: halfway between all-quiet and VM-hot draw
+			// (demand waves run roughly half duty), plus half the fleet
+			// overclocking at once.
+			hot := sc.Util(r, i, 0, true)
+			base := sc.Util(r, i, 0, false)
+			for c := 0; c < srv.NumCores(); c++ {
+				if c < len(zs.vmCores) {
+					srv.SetCoreUtil(c, hot)
+				} else {
+					srv.SetCoreUtil(c, base)
+				}
+			}
+			est += 0.5 * srv.Power()
+			for c := 0; c < srv.NumCores(); c++ {
+				srv.SetCoreUtil(c, base)
+			}
+			est += 0.5 * srv.Power()
+			fullOC += srv.OCDeltaWatts(len(zs.vmCores), srv.MaxOCMHz(), 0.9)
+			members = append(members, srv)
+			zr.servers = append(zr.servers, zs)
+		}
+		limit := cfg.RackLimitScale * (est + 0.5*fullOC)
+		zr.rack = power.NewRack(power.DefaultRackConfig(zr.name, limit), members...)
+		zr.goa = core.NewGOA(zr.name, limit)
+		evenShare := limit / float64(sc.ServersPerRack)
+
+		sCfg := soaCfg
+		sCfg.OnAdmit = func(a core.AdmissionAudit) {
+			res.AdmissionAudits++
+			audit(a)
+		}
+		for _, zs := range zr.servers {
+			zs := zs
+			zs.soa = core.NewSOA(sCfg, zs.host, lifetime.NewCoreBudgets(bcfg, zs.srv.NumCores(), cfg.Start), evenShare, cfg.Start)
+			tr.Register(zs.agentID, func(m agent.Message) {
+				switch m.Type {
+				case "goa.budget":
+					b, err := agent.Decode[budgetMsg](m)
+					if err != nil || b.Watts <= 0 {
+						return
+					}
+					zs.soa.SetStaticBudget(b.Watts, true)
+				case "rack.event":
+					ev, err := agent.Decode[rackEventMsg](m)
+					if err != nil {
+						return
+					}
+					zs.soa.OnRackEvent(eng.Now(), power.Event{
+						Kind: power.EventKind(ev.Kind), Time: eng.Now(),
+						Rack: zr.name, Power: ev.Power, Limit: ev.Limit,
+					})
+				}
+			})
+		}
+
+		// Rack events cross the (lossy) transport, like the chaos rig.
+		zr.rack.Subscribe(func(ev power.Event) {
+			payload := rackEventMsg{Kind: int(ev.Kind), Power: ev.Power, Limit: ev.Limit}
+			for _, zs := range zr.servers {
+				if msg, err := agent.NewMessage("rack.event", zr.name, zs.agentID, payload); err == nil {
+					_ = tr.Send(msg)
+				}
+			}
+		})
+
+		// gOA inbox.
+		goaID := "goa/" + zr.name
+		tr.Register(goaID, func(m agent.Message) {
+			if m.Type != "soa.profile" {
+				return
+			}
+			p, err := agent.Decode[profileMsg](m)
+			if err != nil {
+				return
+			}
+			zr.goa.SetProfile(p.Server, core.ServerProfile{
+				Power: timeseries.FlatWeek(p.MedianWatts, time.Hour),
+				OC: &predict.OCTemplate{
+					Requested: timeseries.FlatWeek(p.Requested, time.Hour),
+					Granted:   timeseries.FlatWeek(p.Granted, time.Hour),
+				},
+				OCCoreCost: p.CoreCost,
+			})
+		})
+
+		// sOA → gOA profile reports (staggered one tick per server).
+		for i, zs := range zr.servers {
+			zs := zs
+			eng.Every(cfg.Start.Add(cfg.ProfileEvery+time.Duration(i)*cfg.Tick), cfg.ProfileEvery, func(now time.Time) {
+				window := lastSamples(zs.soa.PowerRecord().Values, 10)
+				med := stats.Median(window)
+				if len(window) == 0 {
+					med = zs.host.Power()
+				}
+				granted := float64(zs.soa.ActiveOCCores())
+				requested := zs.soa.RecentRequestedCores(5)
+				if granted > requested {
+					requested = granted
+				}
+				payload := profileMsg{
+					Server: zs.srv.Name(), MedianWatts: med,
+					Requested: requested, Granted: granted,
+					CoreCost: zs.srv.Machine().Config().OCCoreCost(),
+				}
+				if msg, err := agent.NewMessage("soa.profile", zs.agentID, goaID, payload); err == nil {
+					_ = tr.Send(msg)
+				}
+			})
+		}
+
+		// gOA → sOA budget pushes.
+		eng.Every(cfg.Start.Add(cfg.BudgetEvery), cfg.BudgetEvery, func(now time.Time) {
+			budgets := zr.goa.BudgetsAt(now)
+			for _, zs := range zr.servers {
+				b, ok := budgets[zs.srv.Name()]
+				if !ok || b <= 0 {
+					continue
+				}
+				if msg, err := agent.NewMessage("goa.budget", goaID, zs.agentID, budgetMsg{Watts: b}); err == nil {
+					_ = tr.Send(msg)
+				}
+			}
+		})
+
+		// Invariants: the zoo's bar is all of them, every tick.
+		invariant.RackPowerWithinLimit(checker, zr.rack, cfg.EnforcementGrace)
+		invariant.BudgetConservation(checker, zr.goa, 1e-3)
+		for _, zs := range zr.servers {
+			zs := zs
+			invariant.CoreBudgetsNeverOverdrawn(checker, zr.name, zs.srv, bcfg, cfg.Start, 12*cfg.Tick)
+			invariant.SessionsWithinGrant(checker, zr.name, zs.srv, func() *core.SOA { return zs.soa })
+		}
+		racks[r] = zr
+	}
+
+	// Main control tick.
+	eng.Every(cfg.Start.Add(cfg.Tick), cfg.Tick, func(now time.Time) {
+		res.Ticks++
+		off := since(now)
+		for r, zr := range racks {
+			for i, zs := range zr.servers {
+				hot := sc.Util(r, i, off, true)
+				base := sc.Util(r, i, off, false)
+				want := sc.Demand(r, i, off)
+				for c := 0; c < zs.srv.NumCores(); c++ {
+					if want && c < len(zs.vmCores) {
+						zs.srv.SetCoreUtil(c, hot)
+					} else {
+						zs.srv.SetCoreUtil(c, base)
+					}
+				}
+				_, active := zs.soa.Sessions()["vm"]
+				if want && !active {
+					res.Requests++
+					d := zs.soa.Request(now, core.Request{
+						VM: "vm", Cores: len(zs.vmCores), TargetMHz: zs.srv.MaxOCMHz(),
+						Priority: core.PriorityMetric, PreferredCores: zs.vmCores,
+					})
+					if d.Granted {
+						res.Granted++
+					}
+				} else if !want && active {
+					zs.soa.Stop(now, "vm")
+				}
+				zs.soa.Tick(now)
+			}
+			for _, zs := range zr.servers {
+				zs.srv.Advance(cfg.Tick)
+			}
+			zr.rack.Tick(now)
+		}
+		checker.Check(now)
+	})
+
+	eng.Run(end)
+
+	for _, zr := range racks {
+		res.Warnings += zr.rack.Warnings()
+		res.CapEvents += zr.rack.CapEvents()
+	}
+	res.InvariantChecks = checker.Checks()
+	res.Violations = checker.Violations()
+	res.Err = checker.Err()
+	return res
+}
+
+// RunZoo executes the full policy × scenario matrix. Cells run in parallel
+// under cfg.Workers; each cell's seed derives from its fixed matrix index,
+// so the result is byte-identical for any worker count or dispatch order.
+func RunZoo(cfg ZooConfig) (*ZooResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pols := cfg.Policies
+	if pols == nil {
+		pols = policy.Factories()
+	}
+	scs := cfg.Scenarios
+	if scs == nil {
+		scs = trace.ZooCatalog(cfg.Seed)
+	}
+	for _, sc := range scs {
+		if err := sc.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	type cell struct {
+		f  policy.Factory
+		sc trace.ZooScenario
+	}
+	cells := make([]cell, 0, len(pols)*len(scs))
+	for _, sc := range scs {
+		for _, f := range pols {
+			cells = append(cells, cell{f: f, sc: sc})
+		}
+	}
+
+	opts := parallel.Options{Workers: cfg.Workers, ShuffleSeed: cfg.ShuffleSeed}
+	results := parallel.Map(len(cells), opts, func(i int) *ZooCellResult {
+		return RunZooCell(cfg, cells[i].f, cells[i].sc, parallel.ChildSeed(cfg.Seed, uint64(i)))
+	})
+
+	res := &ZooResult{Cells: make([]ZooCellResult, len(results))}
+	for i, c := range results {
+		res.Cells[i] = *c
+		if res.Err == nil && c.Err != nil {
+			res.Err = fmt.Errorf("zoo cell %s×%s: %w", c.Policy, c.Scenario, c.Err)
+		}
+	}
+	return res, nil
+}
+
+// Format renders the matrix as a report table.
+func (r *ZooResult) Format() string {
+	tbl := &Table{
+		Caption: "Zoo: policy × scenario stress matrix (invariant violations must be 0)",
+		Headers: []string{"Scenario", "Policy", "Ticks", "Reqs", "Granted", "Warn", "Caps", "Audits", "Checks", "Violations"},
+	}
+	for _, c := range r.Cells {
+		tbl.AddRow(c.Scenario, c.Policy, c.Ticks, c.Requests, c.Granted,
+			c.Warnings, c.CapEvents, c.AdmissionAudits, c.InvariantChecks, len(c.Violations))
+	}
+	return tbl.Format()
+}

@@ -299,3 +299,27 @@ func BudgetConservation(c *Checker, goa *core.GOA, epsilon float64) {
 		}
 	})
 }
+
+// AdmissionWithinBudget audits power-side admission decisions at the moment
+// they are made. The sOA's feedback loop steps an over-granted session back
+// down to the budget within a tick, so an unsafe admission policy leaves no
+// steady-state trace — rack power and session frequencies all look fine. The
+// only place the violation is observable is the decision itself: a grant
+// whose modeled total draw exceeds the budget it was admitted against.
+//
+// The returned sink is installed as SOAConfig.OnAdmit; audits buffer until
+// the next Check drains them. epsilon absorbs float round-off — honest
+// policies compare the exact same sums, so 0 is correct for them.
+func AdmissionWithinBudget(c *Checker, rack string, epsilon float64) func(core.AdmissionAudit) {
+	var pending []core.AdmissionAudit
+	c.Register("admission-within-budget", rack, func(now time.Time, report Reporter) {
+		for _, a := range pending {
+			if a.Granted && a.TotalWatts() > a.BudgetWatts+epsilon {
+				report(fmt.Sprintf("server %s vm %s policy %s granted %.1f W against budget %.1f W",
+					a.Server, a.VM, a.Policy, a.TotalWatts(), a.BudgetWatts))
+			}
+		}
+		pending = pending[:0]
+	})
+	return func(a core.AdmissionAudit) { pending = append(pending, a) }
+}

@@ -7,6 +7,7 @@ import (
 
 	"smartoclock/internal/core"
 	"smartoclock/internal/lifetime"
+	"smartoclock/internal/policy"
 	"smartoclock/internal/power"
 	"smartoclock/internal/predict"
 	"smartoclock/internal/timeseries"
@@ -238,4 +239,75 @@ func TestBudgetConservation(t *testing.T) {
 	if c.Total() != 0 {
 		t.Fatalf("scarcity split flagged: %v", c.Err())
 	}
+}
+
+func TestAdmissionWithinBudgetAuditsGrants(t *testing.T) {
+	c := NewChecker()
+	sink := AdmissionWithinBudget(c, "rack-1", 0)
+
+	// An honest grant (total ≤ budget) and an honest rejection beyond the
+	// budget: neither may fire.
+	sink(core.AdmissionAudit{Server: "s1", VM: "vm1", PredictedWatts: 300,
+		ActiveDeltaWatts: 50, RequestDeltaWatts: 40, BudgetWatts: 400, Granted: true})
+	sink(core.AdmissionAudit{Server: "s1", VM: "vm2", PredictedWatts: 300,
+		ActiveDeltaWatts: 50, RequestDeltaWatts: 100, BudgetWatts: 400, Granted: false})
+	c.Check(invStart)
+	if c.Total() != 0 {
+		t.Fatalf("honest audits flagged: %v", c.Err())
+	}
+
+	// An over-grant must fire exactly once, naming the policy.
+	sink(core.AdmissionAudit{Server: "s1", VM: "vm3", Policy: "over-grant",
+		PredictedWatts: 300, ActiveDeltaWatts: 50, RequestDeltaWatts: 100,
+		BudgetWatts: 400, Granted: true})
+	c.Check(invStart.Add(time.Second))
+	if c.Total() != 1 {
+		t.Fatalf("violations = %d, want 1", c.Total())
+	}
+	v := c.Violations()[0]
+	if v.Invariant != "admission-within-budget" || !strings.Contains(v.Detail, "over-grant") {
+		t.Fatalf("violation = %+v", v)
+	}
+
+	// Audits drain at each Check: the same over-grant must not re-report.
+	c.Check(invStart.Add(2 * time.Second))
+	if c.Total() != 1 {
+		t.Fatalf("drained audit re-reported: total = %d", c.Total())
+	}
+}
+
+func TestAdmissionWithinBudgetLiveSOA(t *testing.T) {
+	// End-to-end over a real sOA: the canary factory's over-granting
+	// admission trips the invariant on the very first impossible grant,
+	// while the default policy stays clean under the same demand.
+	run := func(factory policy.Factory) *Checker {
+		c := NewChecker()
+		cfg := core.DefaultSOAConfig()
+		cfg.Policies = factory
+		cfg.OnAdmit = AdmissionWithinBudget(c, "rack-1", 0)
+		srv := newFakeServer("s1", 8)
+		srv.watts = 200
+		budgets := lifetime.NewCoreBudgets(lifetime.DefaultBudgetConfig(), 8, invStart)
+		soa := core.NewSOA(cfg, &ocDeltaServer{fakeServer: srv, delta: 30}, budgets, 100, invStart)
+		soa.Request(invStart, core.Request{VM: "vm1", Cores: 4, TargetMHz: 4000, Priority: core.PriorityMetric})
+		c.Check(invStart)
+		return c
+	}
+	if c := run(policy.Canary()); c.Total() == 0 {
+		t.Fatal("canary over-grant not detected — the checker is silently green")
+	}
+	if c := run(policy.Default()); c.Total() != 0 {
+		t.Fatalf("default policy flagged: %v", c.Err())
+	}
+}
+
+// ocDeltaServer gives the fake server a non-zero overclock power model so
+// power admission actually has something to reject.
+type ocDeltaServer struct {
+	*fakeServer
+	delta float64
+}
+
+func (s *ocDeltaServer) OCDeltaWatts(cores, mhz int, util float64) float64 {
+	return float64(cores) * s.delta
 }

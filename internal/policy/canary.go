@@ -1,0 +1,31 @@
+package policy
+
+// OverGrant is an intentionally unsafe admission policy: it grants every
+// request regardless of budget. It exists for exactly one purpose — proving
+// that the invariant checker reports violations when a policy misbehaves. A
+// checker that stays green under OverGrant is broken, not lucky. Never ship
+// it in Factories().
+type OverGrant struct{}
+
+// Name implements Admission.
+func (OverGrant) Name() string { return "over-grant" }
+
+// Admit implements Admission: always yes, even beyond the budget.
+func (OverGrant) Admit(AdmitInput) bool { return true }
+
+// Canary returns the deliberately unsafe factory: paper prediction and
+// exploration, but an admission policy that over-grants. The zoo's negative
+// test runs it and asserts the AdmissionWithinBudget invariant fires.
+func Canary() Factory {
+	return Factory{
+		Name: "canary",
+		Desc: "UNSAFE: over-granting admission, for invariant-checker negative tests only",
+		New: func(p Params) Set {
+			return Set{
+				Predictor:   &TemplateMax{},
+				Admission:   OverGrant{},
+				Exploration: NewExponential(p),
+			}
+		},
+	}
+}

@@ -1,0 +1,47 @@
+package policy
+
+import "testing"
+
+// TestPolicyConformance runs the shared law suite against every certified
+// factory — the same sets the zoo matrix runs by default.
+func TestPolicyConformance(t *testing.T) {
+	for _, f := range Factories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			Conformance(t, f)
+		})
+	}
+}
+
+// recorderTB counts conformance failures instead of failing the test, so a
+// negative test can assert the suite has teeth.
+type recorderTB struct {
+	failures []string
+}
+
+func (r *recorderTB) Helper() {}
+
+func (r *recorderTB) Errorf(format string, args ...any) {
+	r.failures = append(r.failures, format)
+}
+
+// TestCanaryFailsConformance proves the suite is not vacuous: the
+// deliberately unsafe over-granting canary must break the budget law.
+func TestCanaryFailsConformance(t *testing.T) {
+	rec := &recorderTB{}
+	Conformance(rec, Canary())
+	if len(rec.failures) == 0 {
+		t.Fatal("canary policy passed the conformance suite; the budget law is toothless")
+	}
+}
+
+// TestConformanceUsesRecorder pins the TB seam: *testing.T satisfies the
+// interface (compile-time check via TestPolicyConformance above) and a
+// recorder sees exactly the failures Errorf reports.
+func TestConformanceUsesRecorder(t *testing.T) {
+	rec := &recorderTB{}
+	conformBudgetRespect(rec, Canary(), 1)
+	if len(rec.failures) != 1 {
+		t.Fatalf("budget law reported %d failures for the canary, want exactly 1 (fail-fast)", len(rec.failures))
+	}
+}

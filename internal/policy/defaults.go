@@ -1,0 +1,119 @@
+package policy
+
+import "time"
+
+// This file holds the paper's heuristics, extracted verbatim from the sOA.
+// Their arithmetic must stay byte-identical to the pre-policy behaviour:
+// the fleet golden tables and the workers-1/2/8 determinism suite pin it.
+
+// TemplateMax is the paper's admission forecast (§IV-B): the maximum of the
+// server's own power template over the admission horizon, falling back to
+// the live reading before the first template exists.
+type TemplateMax struct{}
+
+// Name implements Predictor.
+func (*TemplateMax) Name() string { return "template-max" }
+
+// Observe implements Predictor; the template is fitted elsewhere, so the
+// per-slot samples carry no extra information for this strategy.
+func (*TemplateMax) Observe(time.Time, float64) {}
+
+// Baseline implements Predictor: the max of the template over
+// [now, now+horizon] sampled at the profile step.
+func (*TemplateMax) Baseline(now time.Time, horizon time.Duration, in PredictInput) float64 {
+	if in.Template == nil {
+		return in.CurrentWatts
+	}
+	maxP := 0.0
+	step := in.Step
+	if step <= 0 {
+		step = 5 * time.Minute
+	}
+	for ts := now; !ts.After(now.Add(horizon)); ts = ts.Add(step) {
+		if v := in.Template.At(ts); v > maxP {
+			maxP = v
+		}
+	}
+	return maxP
+}
+
+// At implements Predictor: the template value at the instant.
+func (*TemplateMax) At(ts time.Time, in PredictInput) float64 {
+	if in.Template == nil {
+		return in.CurrentWatts
+	}
+	return in.Template.At(ts)
+}
+
+// Headroom is the paper's admission rule (§IV-B): grant iff the predicted
+// baseline plus all modeled overclock deltas fits the budget.
+type Headroom struct{}
+
+// Name implements Admission.
+func (Headroom) Name() string { return "headroom" }
+
+// Admit implements Admission.
+func (Headroom) Admit(in AdmitInput) bool {
+	return in.Total() <= in.BudgetWatts
+}
+
+// Exponential is the paper's exploration heuristic (§IV-D): a fixed
+// conditional step, one step shed per warning, everything shed on a cap,
+// and an exponential back-off that doubles per setback up to a maximum and
+// resets once an explored budget is confirmed safe.
+type Exponential struct {
+	step    float64
+	initial time.Duration
+	max     time.Duration
+	cur     time.Duration
+}
+
+// NewExponential builds the paper's exploration policy from the sOA knobs.
+func NewExponential(p Params) *Exponential {
+	return &Exponential{
+		step:    p.StepWatts,
+		initial: p.InitialBackoff,
+		max:     p.MaxBackoff,
+		cur:     p.InitialBackoff,
+	}
+}
+
+// Name implements Exploration.
+func (*Exponential) Name() string { return "exponential" }
+
+// Step implements Exploration: the fixed configured increment.
+func (e *Exponential) Step(time.Time) float64 { return e.step }
+
+// Setback implements Exploration: shed one step on a warning, everything on
+// a cap; wait the current back-off and double it for next time.
+func (e *Exponential) Setback(_ time.Time, cap bool, extraWatts float64) (float64, time.Duration) {
+	keep := 0.0
+	if !cap {
+		keep = extraWatts - e.step
+		if keep < 0 {
+			keep = 0
+		}
+	}
+	wait := e.cur
+	e.cur *= 2
+	if e.cur > e.max {
+		e.cur = e.max
+	}
+	return keep, wait
+}
+
+// Confirmed implements Exploration: a budget proven safe resets the
+// back-off to its initial value.
+func (e *Exponential) Confirmed(time.Time) { e.cur = e.initial }
+
+// Snapshot implements Exploration.
+func (e *Exponential) Snapshot() ExplorationState {
+	return ExplorationState{Backoff: e.cur}
+}
+
+// Restore implements Exploration.
+func (e *Exponential) Restore(st ExplorationState) {
+	if st.Backoff > 0 {
+		e.cur = st.Backoff
+	}
+}

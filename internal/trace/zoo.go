@@ -1,0 +1,355 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"smartoclock/internal/machine"
+)
+
+// The scenario zoo: deterministic, seeded adversarial workload regimes for
+// stress-certifying overclocking policies. Each scenario describes a small
+// multi-rack topology and answers point queries — does server (r,s) demand
+// overclocking at offset t? what is its utilization? what does its power
+// sensor report? — as pure functions of (seed, rack, server, time slot).
+// Hash-based generation (no stateful RNG) means the answers are independent
+// of query order, so a simulation driven by a zoo scenario is byte-identical
+// regardless of worker count or dispatch order.
+//
+// The regimes come from the failure modes the paper's benign traces never
+// exercise: flash crowds (synchronized admission pressure), correlated
+// cross-rack surges (every gOA squeezed at once), heteroskedastic "outlier
+// day" storms (template-breaking variance, DCcluster-Opt's shifting-regime
+// stress), mixed hardware generations (distinct power/frequency curves
+// inside one rack, Fig 9's heterogeneity pushed across SKUs), and slow
+// sensor drift (the sOA's power telemetry diverging from truth, with
+// under-reading as the risky direction).
+
+// ZooScenario is one adversarial regime. All time arguments are offsets
+// from the run start, so a scenario is independent of the absolute clock.
+type ZooScenario struct {
+	Name string
+	Desc string
+	// Racks × ServersPerRack is the scenario's topology.
+	Racks          int
+	ServersPerRack int
+	// HW returns server (rack, srv)'s hardware model.
+	HW func(rack, srv int) machine.Config
+	// Demand reports whether server (rack, srv) wants its VM overclocked
+	// at offset since.
+	Demand func(rack, srv int, since time.Duration) bool
+	// Util returns the core utilization for the server's VM cores (hot)
+	// or its background cores (!hot) at offset since.
+	Util func(rack, srv int, since time.Duration, hot bool) float64
+	// SensorGain is the multiplicative error of the power reading the
+	// sOA sees at offset since (1 = honest; <1 under-reads, which is the
+	// dangerous direction: the agent believes it has headroom it lacks).
+	SensorGain func(rack, srv int, since time.Duration) float64
+}
+
+// zooSplitmix is splitmix64: the zoo's stateless position-hash primitive.
+func zooSplitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// zooHash folds a seed and coordinates into one 64-bit hash.
+func zooHash(seed int64, coords ...uint64) uint64 {
+	x := zooSplitmix(uint64(seed))
+	for _, c := range coords {
+		x = zooSplitmix(x ^ c)
+	}
+	return x
+}
+
+// zooUnit maps a seed and coordinates to a uniform float in [0, 1).
+func zooUnit(seed int64, coords ...uint64) float64 {
+	return float64(zooHash(seed, coords...)>>11) / float64(1<<53)
+}
+
+// zooSlot quantizes an offset to a slot index of the given width.
+func zooSlot(since, width time.Duration) uint64 {
+	if since < 0 {
+		return 0
+	}
+	return uint64(since / width)
+}
+
+// Distinct coordinate tags keep the per-purpose hash streams independent:
+// the same (rack, srv, slot) must not produce correlated demand and util.
+const (
+	zooTagDemand = 1 + iota
+	zooTagHot
+	zooTagBase
+	zooTagFlash
+	zooTagSurge
+	zooTagStorm
+	zooTagHW
+	zooTagDrift
+)
+
+// defaultHW returns the single-generation hardware model.
+func defaultHW(int, int) machine.Config { return machine.DefaultConfig() }
+
+// honestSensor is the identity sensor gain.
+func honestSensor(int, int, time.Duration) float64 { return 1 }
+
+// benignUtil is the zoo's baseline utilization: mild per-slot jitter around
+// a low base and a high hot level, re-drawn each minute.
+func benignUtil(seed int64, rack, srv int, since time.Duration, hot bool) float64 {
+	slot := zooSlot(since, time.Minute)
+	if hot {
+		return 0.80 + 0.10*zooUnit(seed, zooTagHot, uint64(rack), uint64(srv), slot)
+	}
+	return 0.35 + 0.05*zooUnit(seed, zooTagBase, uint64(rack), uint64(srv), slot)
+}
+
+// phasedDemand is the benign demand wave: per-server phase-shifted square
+// waves with onFrac duty over period.
+func phasedDemand(rack, srv, perRack int, since time.Duration, period time.Duration, onFrac float64) bool {
+	phase := time.Duration(rack*perRack+srv) * period / time.Duration(perRack*2)
+	into := (since + phase) % period
+	return float64(into) < onFrac*float64(period)
+}
+
+// ZooBenign is the control regime: the chaos rig's phase-shifted demand
+// waves on homogeneous hardware with honest sensors. A policy that cannot
+// keep the invariants here is broken outright.
+func ZooBenign(seed int64) ZooScenario {
+	return ZooScenario{
+		Name:           "benign",
+		Desc:           "phase-shifted square-wave demand, homogeneous hardware, honest sensors",
+		Racks:          2,
+		ServersPerRack: 6,
+		HW:             defaultHW,
+		Demand: func(rack, srv int, since time.Duration) bool {
+			return phasedDemand(rack, srv, 6, since, 20*time.Minute, 0.45)
+		},
+		Util: func(rack, srv int, since time.Duration, hot bool) float64 {
+			return benignUtil(seed, rack, srv, since, hot)
+		},
+		SensorGain: honestSensor,
+	}
+}
+
+// ZooFlashCrowd models flash crowds: demand is usually sparse, but in
+// hash-chosen 15-minute windows an entire rack's servers ask for
+// overclocking within the same tick — the synchronized admission burst
+// that a per-server view never anticipates.
+func ZooFlashCrowd(seed int64) ZooScenario {
+	flashAt := func(rack int, since time.Duration) bool {
+		w := zooSlot(since, 15*time.Minute)
+		if zooUnit(seed, zooTagFlash, uint64(rack), w) >= 0.35 {
+			return false
+		}
+		// The flash occupies the first 5 minutes of its window.
+		return since%(15*time.Minute) < 5*time.Minute
+	}
+	return ZooScenario{
+		Name:           "flash-crowd",
+		Desc:           "rack-wide synchronized demand bursts in hash-chosen windows",
+		Racks:          2,
+		ServersPerRack: 6,
+		HW:             defaultHW,
+		Demand: func(rack, srv int, since time.Duration) bool {
+			if flashAt(rack, since) {
+				return true
+			}
+			return phasedDemand(rack, srv, 6, since, 30*time.Minute, 0.15)
+		},
+		Util: func(rack, srv int, since time.Duration, hot bool) float64 {
+			if hot && flashAt(rack, since) {
+				slot := zooSlot(since, time.Minute)
+				return 0.90 + 0.08*zooUnit(seed, zooTagHot, uint64(rack), uint64(srv), slot)
+			}
+			return benignUtil(seed, rack, srv, since, hot)
+		},
+		SensorGain: honestSensor,
+	}
+}
+
+// ZooCorrelatedSurge models cross-rack correlated surges: one global event
+// (a product launch, a regional failover) pushes every rack hot at once,
+// so no gOA can borrow calm from a neighbor and every budget split is
+// squeezed simultaneously.
+func ZooCorrelatedSurge(seed int64) ZooScenario {
+	surgeAt := func(since time.Duration) bool {
+		w := zooSlot(since, 30*time.Minute)
+		if zooUnit(seed, zooTagSurge, w) >= 0.5 {
+			return false
+		}
+		return since%(30*time.Minute) < 12*time.Minute
+	}
+	return ZooScenario{
+		Name:           "correlated-surge",
+		Desc:           "global surge windows hit every rack simultaneously",
+		Racks:          2,
+		ServersPerRack: 6,
+		HW:             defaultHW,
+		Demand: func(rack, srv int, since time.Duration) bool {
+			if surgeAt(since) {
+				return true
+			}
+			return phasedDemand(rack, srv, 6, since, 40*time.Minute, 0.10)
+		},
+		Util: func(rack, srv int, since time.Duration, hot bool) float64 {
+			slot := zooSlot(since, time.Minute)
+			if surgeAt(since) {
+				if hot {
+					return 0.88 + 0.10*zooUnit(seed, zooTagHot, uint64(rack), uint64(srv), slot)
+				}
+				return 0.50 + 0.10*zooUnit(seed, zooTagBase, uint64(rack), uint64(srv), slot)
+			}
+			return benignUtil(seed, rack, srv, since, hot)
+		},
+		SensorGain: honestSensor,
+	}
+}
+
+// ZooOutlierStorm models heteroskedastic "outlier day" behaviour: each hour
+// is either calm or a storm. Storm hours re-draw demand erratically every
+// two minutes and swing utilization with ~5× the calm variance, breaking
+// the low-variance assumption a fitted template encodes.
+func ZooOutlierStorm(seed int64) ZooScenario {
+	stormHour := func(since time.Duration) bool {
+		return zooUnit(seed, zooTagStorm, zooSlot(since, time.Hour)) < 0.35
+	}
+	return ZooScenario{
+		Name:           "outlier-storm",
+		Desc:           "heteroskedastic hours: calm baseline vs high-variance storm regimes",
+		Racks:          2,
+		ServersPerRack: 6,
+		HW:             defaultHW,
+		Demand: func(rack, srv int, since time.Duration) bool {
+			if stormHour(since) {
+				slot := zooSlot(since, 2*time.Minute)
+				return zooUnit(seed, zooTagDemand, uint64(rack), uint64(srv), slot) < 0.6
+			}
+			return phasedDemand(rack, srv, 6, since, 20*time.Minute, 0.35)
+		},
+		Util: func(rack, srv int, since time.Duration, hot bool) float64 {
+			if !stormHour(since) {
+				return benignUtil(seed, rack, srv, since, hot)
+			}
+			slot := zooSlot(since, time.Minute)
+			u := zooUnit(seed, zooTagHot, uint64(rack), uint64(srv), slot)
+			if hot {
+				return 0.55 + 0.43*u // swings 0.55–0.98
+			}
+			return 0.20 + 0.50*u // swings 0.20–0.70
+		},
+		SensorGain: honestSensor,
+	}
+}
+
+// ZooMixedHW models mixed hardware generations inside the same racks: a
+// hash-chosen ~40% of servers are an older SKU with a lower turbo ceiling,
+// a costlier overclock (steeper voltage slope, hungrier cores) and higher
+// idle draw, so identical budgets buy very different frequency headroom and
+// the gOA's split must cope with heterogeneous power/frequency curves.
+func ZooMixedHW(seed int64) ZooScenario {
+	oldGen := machine.DefaultConfig()
+	oldGen.TurboMHz = 2800
+	oldGen.MaxOCMHz = 3600
+	oldGen.IdleWatts = 120
+	oldGen.DynCoreWatts = 8.5
+	oldGen.VoltSlope = 1.6
+	return ZooScenario{
+		Name:           "mixed-hw",
+		Desc:           "two server generations with distinct power/frequency curves per rack",
+		Racks:          2,
+		ServersPerRack: 6,
+		HW: func(rack, srv int) machine.Config {
+			if zooUnit(seed, zooTagHW, uint64(rack), uint64(srv)) < 0.4 {
+				return oldGen
+			}
+			return machine.DefaultConfig()
+		},
+		Demand: func(rack, srv int, since time.Duration) bool {
+			return phasedDemand(rack, srv, 6, since, 20*time.Minute, 0.45)
+		},
+		Util: func(rack, srv int, since time.Duration, hot bool) float64 {
+			return benignUtil(seed, rack, srv, since, hot)
+		},
+		SensorGain: honestSensor,
+	}
+}
+
+// ZooSensorDrift models slow power-sensor drift: each server's reported
+// draw diverges linearly from truth over the first two hours, toward a
+// hash-chosen endpoint in [0.93, 1.07]. Under-reading servers believe they
+// have headroom they lack, so rack-level enforcement (warnings, capping)
+// is the only thing standing between drift and a limit breach.
+func ZooSensorDrift(seed int64) ZooScenario {
+	ramp := 2 * time.Hour
+	return ZooScenario{
+		Name:           "sensor-drift",
+		Desc:           "per-server power telemetry drifts up to ±7% from truth over two hours",
+		Racks:          2,
+		ServersPerRack: 6,
+		HW:             defaultHW,
+		Demand: func(rack, srv int, since time.Duration) bool {
+			return phasedDemand(rack, srv, 6, since, 20*time.Minute, 0.45)
+		},
+		Util: func(rack, srv int, since time.Duration, hot bool) float64 {
+			return benignUtil(seed, rack, srv, since, hot)
+		},
+		SensorGain: func(rack, srv int, since time.Duration) float64 {
+			end := 0.93 + 0.14*zooUnit(seed, zooTagDrift, uint64(rack), uint64(srv))
+			frac := float64(since) / float64(ramp)
+			if frac > 1 {
+				frac = 1
+			}
+			if frac < 0 {
+				frac = 0
+			}
+			return 1 + (end-1)*frac
+		},
+	}
+}
+
+// ZooCatalog returns every zoo scenario, seeded, in catalog order.
+func ZooCatalog(seed int64) []ZooScenario {
+	return []ZooScenario{
+		ZooBenign(seed),
+		ZooFlashCrowd(seed),
+		ZooCorrelatedSurge(seed),
+		ZooOutlierStorm(seed),
+		ZooMixedHW(seed),
+		ZooSensorDrift(seed),
+	}
+}
+
+// ZooByName resolves one scenario by name.
+func ZooByName(name string, seed int64) (ZooScenario, error) {
+	names := make([]string, 0, 8)
+	for _, sc := range ZooCatalog(seed) {
+		if sc.Name == name {
+			return sc, nil
+		}
+		names = append(names, sc.Name)
+	}
+	return ZooScenario{}, fmt.Errorf("trace: unknown zoo scenario %q (valid: %v)", name, names)
+}
+
+// Validate reports whether the scenario is runnable.
+func (s ZooScenario) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("trace: zoo scenario without a name")
+	case s.Racks <= 0 || s.ServersPerRack <= 0:
+		return fmt.Errorf("trace: zoo scenario %s topology %dx%d", s.Name, s.Racks, s.ServersPerRack)
+	case s.HW == nil || s.Demand == nil || s.Util == nil || s.SensorGain == nil:
+		return fmt.Errorf("trace: zoo scenario %s has nil generators", s.Name)
+	}
+	for r := 0; r < s.Racks; r++ {
+		for i := 0; i < s.ServersPerRack; i++ {
+			if err := s.HW(r, i).Validate(); err != nil {
+				return fmt.Errorf("trace: zoo scenario %s server (%d,%d): %w", s.Name, r, i, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestZooCatalogValidatesAndHasDistinctNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, sc := range ZooCatalog(7) {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("%s: %v", sc.Name, err)
+		}
+		if seen[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("catalog has %d scenarios, want at least 5", len(seen))
+	}
+}
+
+func TestZooByName(t *testing.T) {
+	sc, err := ZooByName("flash-crowd", 3)
+	if err != nil || sc.Name != "flash-crowd" {
+		t.Fatalf("lookup: %v / %q", err, sc.Name)
+	}
+	if _, err := ZooByName("nope", 3); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+}
+
+// TestZooDeterministicPerSeed asserts the core contract: a scenario is a
+// pure function of (seed, rack, server, offset) — two instances with the
+// same seed agree everywhere, and a different seed actually changes the
+// regime.
+func TestZooDeterministicPerSeed(t *testing.T) {
+	catA, catB, catC := ZooCatalog(42), ZooCatalog(42), ZooCatalog(43)
+	for k := range catA {
+		a, b, c := catA[k], catB[k], catC[k]
+		differs := false
+		for r := 0; r < a.Racks; r++ {
+			for s := 0; s < a.ServersPerRack; s++ {
+				if a.HW(r, s) != b.HW(r, s) {
+					t.Fatalf("%s: HW(%d,%d) differs across same-seed instances", a.Name, r, s)
+				}
+				for since := time.Duration(0); since < 3*time.Hour; since += 37 * time.Second {
+					if a.Demand(r, s, since) != b.Demand(r, s, since) {
+						t.Fatalf("%s: Demand(%d,%d,%v) nondeterministic", a.Name, r, s, since)
+					}
+					for _, hot := range []bool{false, true} {
+						if a.Util(r, s, since, hot) != b.Util(r, s, since, hot) {
+							t.Fatalf("%s: Util(%d,%d,%v,%v) nondeterministic", a.Name, r, s, since, hot)
+						}
+					}
+					if a.SensorGain(r, s, since) != b.SensorGain(r, s, since) {
+						t.Fatalf("%s: SensorGain(%d,%d,%v) nondeterministic", a.Name, r, s, since)
+					}
+					if a.Demand(r, s, since) != c.Demand(r, s, since) ||
+						a.Util(r, s, since, true) != c.Util(r, s, since, true) {
+						differs = true
+					}
+				}
+			}
+		}
+		if !differs {
+			t.Errorf("%s: seed 42 and 43 produce identical regimes", a.Name)
+		}
+	}
+}
+
+// TestZooQueryOrderIndependence spot-checks that interleaved queries return
+// the same answers as sequential ones (no hidden generator state).
+func TestZooQueryOrderIndependence(t *testing.T) {
+	sc := ZooOutlierStorm(9)
+	want := make([]float64, 0, 100)
+	for i := 0; i < 100; i++ {
+		want = append(want, sc.Util(i%2, i%6, time.Duration(i)*time.Minute, i%3 == 0))
+	}
+	// Re-query in reverse order.
+	for i := 99; i >= 0; i-- {
+		got := sc.Util(i%2, i%6, time.Duration(i)*time.Minute, i%3 == 0)
+		if got != want[i] {
+			t.Fatalf("query %d: %v after reverse-order replay, want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestZooFlashCrowdSynchronizesRack(t *testing.T) {
+	sc := ZooFlashCrowd(11)
+	// Find at least one offset where every server of a rack demands at once
+	// — the signature of a flash — and verify quiet offsets exist too.
+	flashes, quiets := 0, 0
+	for since := time.Duration(0); since < 6*time.Hour; since += time.Minute {
+		all, none := true, true
+		for s := 0; s < sc.ServersPerRack; s++ {
+			if sc.Demand(0, s, since) {
+				none = false
+			} else {
+				all = false
+			}
+		}
+		if all {
+			flashes++
+		}
+		if none {
+			quiets++
+		}
+	}
+	if flashes == 0 {
+		t.Fatal("no rack-wide synchronized demand in 6 h — not a flash crowd")
+	}
+	if quiets == 0 {
+		t.Fatal("demand never quiet — flash crowd needs contrast")
+	}
+}
+
+func TestZooCorrelatedSurgeHitsAllRacks(t *testing.T) {
+	sc := ZooCorrelatedSurge(5)
+	found := false
+	for since := time.Duration(0); since < 6*time.Hour; since += time.Minute {
+		all := true
+		for r := 0; r < sc.Racks && all; r++ {
+			for s := 0; s < sc.ServersPerRack; s++ {
+				if !sc.Demand(r, s, since) {
+					all = false
+					break
+				}
+			}
+		}
+		if all {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no cross-rack synchronized surge in 6 h")
+	}
+}
+
+func TestZooMixedHWHasTwoGenerations(t *testing.T) {
+	sc := ZooMixedHW(1)
+	turbos := map[int]bool{}
+	for r := 0; r < sc.Racks; r++ {
+		for s := 0; s < sc.ServersPerRack; s++ {
+			turbos[sc.HW(r, s).TurboMHz] = true
+		}
+	}
+	if len(turbos) < 2 {
+		t.Fatalf("hardware generations = %v, want 2 distinct turbo ceilings", turbos)
+	}
+}
+
+func TestZooSensorDriftRampsFromHonest(t *testing.T) {
+	sc := ZooSensorDrift(2)
+	sawDrift := false
+	for s := 0; s < sc.ServersPerRack; s++ {
+		if g := sc.SensorGain(0, s, 0); g != 1 {
+			t.Fatalf("server %d gain at t=0 is %v, want 1 (drift is slow)", s, g)
+		}
+		g := sc.SensorGain(0, s, 3*time.Hour)
+		if g < 0.93 || g > 1.07 {
+			t.Fatalf("server %d terminal gain %v outside [0.93, 1.07]", s, g)
+		}
+		if g != 1 {
+			sawDrift = true
+		}
+		// Monotone ramp: halfway gain is between start and end.
+		mid := sc.SensorGain(0, s, time.Hour)
+		if (g-1)*(mid-1) < 0 {
+			t.Fatalf("server %d drift not monotone: mid %v, end %v", s, mid, g)
+		}
+	}
+	if !sawDrift {
+		t.Fatal("no server drifted at all")
+	}
+}
+
+func TestZooOutlierStormHasBothRegimes(t *testing.T) {
+	sc := ZooOutlierStorm(4)
+	// Variance of hot util should differ sharply between some hours.
+	hourSpread := func(hour int) float64 {
+		lo, hi := 2.0, -1.0
+		for m := 0; m < 60; m++ {
+			since := time.Duration(hour)*time.Hour + time.Duration(m)*time.Minute
+			u := sc.Util(0, 0, since, true)
+			if u < lo {
+				lo = u
+			}
+			if u > hi {
+				hi = u
+			}
+		}
+		return hi - lo
+	}
+	minSpread, maxSpread := 2.0, -1.0
+	for h := 0; h < 12; h++ {
+		sp := hourSpread(h)
+		if sp < minSpread {
+			minSpread = sp
+		}
+		if sp > maxSpread {
+			maxSpread = sp
+		}
+	}
+	if maxSpread < 2*minSpread {
+		t.Fatalf("utilization spread calm=%.3f storm=%.3f: not heteroskedastic", minSpread, maxSpread)
+	}
+}
