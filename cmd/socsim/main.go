@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	socsim [-racks N] [-traindays D] [-evaldays D] [-seed S] [-table1] [-fig15] [-chaos] [-recovery] [-zoo]
+//	socsim [-racks N] [-traindays D] [-evaldays D] [-seed S] [-table1] [-fig15] [-chaos] [-recovery] [-zoo] [-oversub] [-contention]
 //
 // With no experiment flag the paper experiments run (Table I, Fig 15,
 // ablations). -chaos runs the fault-injection experiment instead: a rack
@@ -20,6 +20,11 @@
 // storms, mixed hardware, sensor drift), each cell watched by the
 // invariant checker; -zoo-policies and -zoo-scenarios narrow the matrix
 // (the unsafe "canary" set is addressable by name for negative runs).
+// -oversub runs the power-oversubscription sweep: predicted-peak admission
+// against severity-ordered capping across oversubscription ratios, with
+// the NoBrownout and SeverityOrder invariants armed. -contention runs
+// oversubscription admission and sOA overclock sessions competing for the
+// same rack headroom; -oversub-ratios overrides the swept ratios for both.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -120,6 +126,9 @@ func main() {
 	runChaos := flag.Bool("chaos", false, "run the fault-injection experiment (gOA outage, lossy control plane, sOA crashes)")
 	runRecovery := flag.Bool("recovery", false, "run the crash-recovery experiment (cold vs warm restart from checkpoints)")
 	runZoo := flag.Bool("zoo", false, "run the policy × scenario stress matrix with the invariant checker armed")
+	runOversub := flag.Bool("oversub", false, "run the power-oversubscription sweep (predicted-peak admission vs severity-ordered capping)")
+	runContention := flag.Bool("contention", false, "run the oversubscription-vs-overclocking contention sweep on shared rack headroom")
+	oversubRatios := flag.String("oversub-ratios", "", "comma-separated oversubscription ratios for -oversub/-contention (default: the built-in sweep)")
 	zooPolicies := flag.String("zoo-policies", "", "comma-separated policy sets for -zoo (default: all certified sets; 'canary' selects the unsafe negative control)")
 	zooScenarios := flag.String("zoo-scenarios", "", "comma-separated zoo scenarios for -zoo (default: the full catalog)")
 	zooDuration := flag.Duration("zoo-duration", 0, "override the simulated duration of each -zoo cell")
@@ -209,6 +218,67 @@ func main() {
 				}
 			}
 			log.Fatal(res.Err)
+		}
+		return
+	}
+
+	if *runOversub || *runContention {
+		cfg := experiment.DefaultOversubConfig()
+		cfg.Seed = *seed
+		cfg.Workers = *workers
+		if *oversubRatios != "" {
+			cfg.Ratios = nil
+			for _, f := range strings.Split(*oversubRatios, ",") {
+				r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+				if err != nil {
+					log.Fatalf("bad -oversub-ratios value %q: %v", f, err)
+				}
+				cfg.Ratios = append(cfg.Ratios, r)
+			}
+		}
+		dumpViolations := func(cells []experiment.OversubCellResult) {
+			for _, c := range cells {
+				for i, v := range c.Violations {
+					if i == 3 {
+						fmt.Fprintf(os.Stderr, "socsim: ratio %.2f: ... %d more violations\n",
+							c.Ratio, len(c.Violations)-i)
+						break
+					}
+					fmt.Fprintf(os.Stderr, "socsim: ratio %.2f: %v\n", c.Ratio, v)
+				}
+			}
+		}
+		failed := false
+		if *runOversub {
+			fmt.Fprintf(os.Stderr, "socsim: oversubscription sweep — ratios %v, %d arrivals over %v (%d workers)...\n",
+				cfg.Ratios, cfg.Arrivals, cfg.Duration, *workers)
+			res, err := experiment.RunOversub(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(res.Format())
+			if res.Err != nil {
+				dumpViolations(res.Cells)
+				log.Print(res.Err)
+				failed = true
+			}
+		}
+		if *runContention {
+			fmt.Fprintf(os.Stderr, "socsim: contention sweep — %d overclocking servers vs oversubscribed admission, ratios %v (%d workers)...\n",
+				cfg.BaseServers, cfg.Ratios, *workers)
+			res, err := experiment.RunContention(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(res.Format())
+			if res.Err != nil {
+				dumpViolations(res.Cells)
+				log.Print(res.Err)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
 		}
 		return
 	}

@@ -13,6 +13,7 @@ import (
 	"smartoclock/internal/lifetime"
 	"smartoclock/internal/machine"
 	"smartoclock/internal/metrics"
+	"smartoclock/internal/power"
 )
 
 // Server is one emulated server.
@@ -22,6 +23,7 @@ type Server struct {
 	desired     []int // sOA-requested per-core frequency
 	capLevel    int
 	capPriority int
+	severity    power.Severity
 	aging       lifetime.AgingModel
 	wear        []*lifetime.Wear
 
@@ -95,6 +97,16 @@ func (s *Server) OCDeltaWatts(cores, mhz int, util float64) float64 {
 
 // CapPriority implements power.Server.
 func (s *Server) CapPriority() int { return s.capPriority }
+
+// SetSeverity declares the server's capping severity class. Like the cap
+// priority it is placement-time configuration, not runtime state, so it is
+// not part of the snapshot.
+func (s *Server) SetSeverity(v power.Severity) { s.severity = v }
+
+// Severity implements power.SeverityClassed. The zero value is
+// SeverityCritical: an unclassed production server is capped last under
+// severity-ordered capping.
+func (s *Server) Severity() power.Severity { return s.severity }
 
 // capCeiling returns the frequency ceiling imposed by the current cap
 // level: level 0 is uncapped (MaxOC); each level lowers the ceiling one

@@ -1,0 +1,63 @@
+package invariant
+
+import (
+	"fmt"
+	"time"
+
+	"smartoclock/internal/power"
+)
+
+// Oversubscription invariants. Admitting more servers than the provisioned
+// power supports is a bet that prediction plus severity-classed capping
+// keep the rack safe; these two checks audit both halves of that bet on
+// every tick.
+
+// NoBrownout asserts that rack power, observed after the rack manager's
+// control cycle has run, never exceeds the provisioned limit by more than
+// epsilon. Register it in a loop that calls Checker.Check after rack.Tick:
+// at that point warnings have been delivered and capping applied, so any
+// draw still above the limit means enforcement failed to protect the
+// breaker — the brownout an over-admitting policy causes when capping is
+// broken or disabled.
+func NoBrownout(c *Checker, rack *power.Rack, epsilon float64) {
+	c.Register("no-brownout", rack.Name(), func(now time.Time, report Reporter) {
+		limit := rack.Config().LimitWatts
+		if p := rack.Power(); p > limit+epsilon {
+			report(fmt.Sprintf("post-enforcement draw %.1f W exceeds provisioned limit %.1f W", p, limit))
+		}
+	})
+}
+
+// SeverityOrder asserts severity-ordered shedding: no server of severity
+// class k is capped while any server of a more sheddable class (> k) on
+// the same rack is uncapped. This is the contract that lets critical work
+// share a rack with harvest deployments — capping may touch it only after
+// everything more sheddable has been throttled. One violation is reported
+// per tick, naming the offending pair.
+func SeverityOrder(c *Checker, rack *power.Rack) {
+	c.Register("severity-order", rack.Name(), func(now time.Time, report Reporter) {
+		var capped, uncapped [power.NumSeverities]string
+		for _, s := range rack.Servers() {
+			k := power.SeverityOf(s)
+			if s.CapLevel() > 0 {
+				if capped[k] == "" {
+					capped[k] = s.Name()
+				}
+			} else if uncapped[k] == "" {
+				uncapped[k] = s.Name()
+			}
+		}
+		for k := power.Severity(0); k < power.NumSeverities; k++ {
+			if capped[k] == "" {
+				continue
+			}
+			for j := k + 1; j < power.NumSeverities; j++ {
+				if uncapped[j] != "" {
+					report(fmt.Sprintf("server %s (severity %v) capped while %s (severity %v) is uncapped",
+						capped[k], k, uncapped[j], j))
+					return
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+
+	"smartoclock/internal/power"
+)
+
+// sevServer is a fakeServer with a severity class.
+type sevServer struct {
+	fakeServer
+	sev power.Severity
+}
+
+func (s *sevServer) Severity() power.Severity { return s.sev }
+
+func newSevServer(name string, watts float64, sev power.Severity) *sevServer {
+	return &sevServer{fakeServer: fakeServer{name: name, watts: watts}, sev: sev}
+}
+
+func TestNoBrownoutFiresOnPostEnforcementOverdraw(t *testing.T) {
+	a := newFakeServer("a", 4)
+	a.watts = 1100
+	rack := power.NewRack(power.DefaultRackConfig("r0", 1000), a)
+	c := NewChecker()
+	NoBrownout(c, rack, 1e-6)
+	c.Check(invStart)
+	if c.Total() != 1 {
+		t.Fatalf("draw 1100/limit 1000: %d violations, want 1", c.Total())
+	}
+	v := c.Violations()[0]
+	if v.Invariant != "no-brownout" || v.Rack != "r0" {
+		t.Fatalf("violation labeled %q/%q", v.Invariant, v.Rack)
+	}
+	if !strings.Contains(v.Detail, "1100.0") {
+		t.Fatalf("detail lacks the overdraw: %s", v.Detail)
+	}
+}
+
+func TestNoBrownoutQuietAtOrUnderLimit(t *testing.T) {
+	a := newFakeServer("a", 4)
+	rack := power.NewRack(power.DefaultRackConfig("r0", 1000), a)
+	c := NewChecker()
+	NoBrownout(c, rack, 1e-6)
+	for _, w := range []float64{0, 500, 1000, 1000 + 1e-9} {
+		a.watts = w
+		c.Check(invStart)
+	}
+	if c.Total() != 0 {
+		t.Fatalf("draws within limit+epsilon reported %d violations: %v", c.Total(), c.Err())
+	}
+}
+
+func TestSeverityOrderFiresOnInvertedShedding(t *testing.T) {
+	crit := newSevServer("crit", 300, power.SeverityCritical)
+	low := newSevServer("low", 300, power.SeverityLow)
+	rack := power.NewRack(power.DefaultRackConfig("r0", 1000), crit, low)
+	c := NewChecker()
+	SeverityOrder(c, rack)
+
+	// Critical capped while low runs free: the exact inversion the
+	// invariant exists to catch.
+	crit.cap = 3
+	c.Check(invStart)
+	if c.Total() != 1 {
+		t.Fatalf("inverted shedding: %d violations, want 1", c.Total())
+	}
+	v := c.Violations()[0]
+	if v.Invariant != "severity-order" {
+		t.Fatalf("violation labeled %q", v.Invariant)
+	}
+	if !strings.Contains(v.Detail, "crit") || !strings.Contains(v.Detail, "low") {
+		t.Fatalf("detail does not name the offending pair: %s", v.Detail)
+	}
+}
+
+func TestSeverityOrderAcceptsOrderedShedding(t *testing.T) {
+	crit := newSevServer("crit", 300, power.SeverityCritical)
+	med := newSevServer("med", 300, power.SeverityMedium)
+	low := newSevServer("low", 300, power.SeverityLow)
+	rack := power.NewRack(power.DefaultRackConfig("r0", 1000), crit, med, low)
+	c := NewChecker()
+	SeverityOrder(c, rack)
+
+	// Legal states: nothing capped; harvest only; harvest exhausted plus
+	// medium; everything capped.
+	states := [][3]int{{0, 0, 0}, {0, 0, 5}, {0, 2, 10}, {4, 6, 10}}
+	for _, st := range states {
+		crit.cap, med.cap, low.cap = st[0], st[1], st[2]
+		c.Check(invStart)
+	}
+	if c.Total() != 0 {
+		t.Fatalf("ordered shedding reported %d violations: %v", c.Total(), c.Err())
+	}
+
+	// Same-class partial capping is legal too (interleaving inside the
+	// boundary class).
+	med2 := newSevServer("med2", 300, power.SeverityMedium)
+	rack.AddServer(med2)
+	crit.cap, med.cap, med2.cap, low.cap = 0, 3, 0, 10
+	c.Check(invStart)
+	if c.Total() != 0 {
+		t.Fatalf("partial same-class capping flagged: %v", c.Err())
+	}
+}
+
+func TestSeverityOrderOneViolationPerTick(t *testing.T) {
+	crit := newSevServer("crit", 300, power.SeverityCritical)
+	high := newSevServer("high", 300, power.SeverityHigh)
+	low := newSevServer("low", 300, power.SeverityLow)
+	low2 := newSevServer("low2", 300, power.SeverityLow)
+	rack := power.NewRack(power.DefaultRackConfig("r0", 1000), crit, high, low, low2)
+	c := NewChecker()
+	SeverityOrder(c, rack)
+	crit.cap, high.cap = 2, 2 // two capped classes, two uncapped witnesses
+	c.Check(invStart)
+	if c.Total() != 1 {
+		t.Fatalf("%d violations in one tick, want 1 (one report per tick)", c.Total())
+	}
+}

@@ -119,6 +119,15 @@ func (c Config) CorePower(mhz int, util float64) float64 {
 	return c.StaticCoreWatts*v2 + c.DynCoreWatts*fr*v2*util
 }
 
+// NameplateWatts returns the server's worst-case draw without overclocking:
+// platform idle plus every core busy at turbo. Oversubscription admission
+// uses it as the conservative fallback when no trustworthy day template
+// exists — it is what a rack would have to provision per server without
+// prediction.
+func (c Config) NameplateWatts() float64 {
+	return c.IdleWatts + float64(c.Cores)*c.CorePower(c.TurboMHz, 1)
+}
+
 // OCCoreCost returns the extra power of running one fully-utilized core at
 // MaxOCMHz instead of TurboMHz — the per-core overclock cost the Global
 // Overclocking Agent uses when splitting headroom.

@@ -97,6 +97,10 @@ type RackConfig struct {
 	// workload that keeps pushing causes recurring capping events rather
 	// than a permanent throttle.
 	RestoreFraction float64
+	// Mode selects the capping discipline. The zero value is the original
+	// interleaved prioritized capping; oversubscribed racks run
+	// CapSeverity so shedding respects severity classes.
+	Mode CapMode
 }
 
 // DefaultRackConfig returns the configuration used across the evaluation:
@@ -243,8 +247,25 @@ func (r *Rack) Name() string { return r.cfg.Name }
 // Servers returns the managed servers.
 func (r *Rack) Servers() []Server { return r.servers }
 
-// AddServer registers an additional server.
-func (r *Rack) AddServer(s Server) { r.servers = append(r.servers, s) }
+// AddServer registers an additional server. Under severity-ordered capping
+// a late joiner must respect the discipline already in force: if any server
+// of a MORE critical class is currently capped, the newcomer's class was by
+// definition exhausted before that class was touched, so the newcomer
+// arrives fully capped and recovers through the normal severity-ordered
+// restore path. Without this, a harvest deployment admitted onto a
+// capping rack would run free while critical work stays throttled.
+func (r *Rack) AddServer(s Server) {
+	if r.cfg.Mode == CapSeverity {
+		sv := SeverityOf(s)
+		for _, e := range r.servers {
+			if e.CapLevel() > 0 && SeverityOf(e) < sv {
+				s.ForceCap(s.MaxCapLevel())
+				break
+			}
+		}
+	}
+	r.servers = append(r.servers, s)
+}
 
 // Subscribe registers fn to receive rack events. Subscriptions cannot be
 // removed; subscribers that go away should ignore events.
@@ -333,10 +354,26 @@ func (r *Rack) Tick(now time.Time) {
 	}
 }
 
-// applyCapping escalates cap levels, lowest CapPriority first, until the
-// modeled rack power drops below the target fraction of the limit or every
-// server is fully throttled.
+// applyCapping escalates cap levels until the modeled rack power drops
+// below the target fraction of the limit or every server is fully
+// throttled, under the configured capping discipline.
 func (r *Rack) applyCapping(current float64) {
+	switch r.cfg.Mode {
+	case CapSeverity:
+		r.applyCappingSeverity(current, false)
+	case CapInvertedUnsafe:
+		r.applyCappingSeverity(current, true)
+	case CapDisabledUnsafe:
+		// Enforcement off: the negative-test mode that lets
+		// invariant.NoBrownout prove it has teeth.
+	default:
+		r.applyCappingInterleaved(current)
+	}
+}
+
+// applyCappingInterleaved is the original discipline: one level per server
+// round-robin, lowest CapPriority first.
+func (r *Rack) applyCappingInterleaved(current float64) {
 	target := r.cfg.TargetFraction * r.cfg.LimitWatts
 	ordered := make([]Server, len(r.servers))
 	copy(ordered, r.servers)
@@ -362,10 +399,69 @@ func (r *Rack) applyCapping(current float64) {
 	}
 }
 
-// relaxCapping lowers cap levels one step on every capped server,
-// highest CapPriority first so important servers recover sooner.
-// It reports whether any cap level changed.
+// applyCappingSeverity is the severity-ordered discipline: servers sort by
+// severity class (most sheddable first — or most critical first when
+// inverted, the negative-test mode), with CapPriority breaking ties inside a
+// class. One class is driven all the way to its cap floor before the next
+// class is touched, so a server of class k is capped only while every more
+// sheddable class is fully throttled — the property invariant.SeverityOrder
+// audits.
+func (r *Rack) applyCappingSeverity(current float64, invert bool) {
+	target := r.cfg.TargetFraction * r.cfg.LimitWatts
+	if current <= target {
+		return
+	}
+	ordered := make([]Server, len(r.servers))
+	copy(ordered, r.servers)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		si, sj := SeverityOf(ordered[i]), SeverityOf(ordered[j])
+		if si != sj {
+			if invert {
+				return si < sj
+			}
+			return si > sj
+		}
+		return ordered[i].CapPriority() < ordered[j].CapPriority()
+	})
+	for lo := 0; lo < len(ordered) && current > target; {
+		hi := lo
+		for hi < len(ordered) && SeverityOf(ordered[hi]) == SeverityOf(ordered[lo]) {
+			hi++
+		}
+		class := ordered[lo:hi]
+		for current > target {
+			progressed := false
+			for _, s := range class {
+				if current <= target {
+					break
+				}
+				if s.CapLevel() >= s.MaxCapLevel() {
+					continue
+				}
+				s.ForceCap(s.CapLevel() + 1)
+				progressed = true
+				current = r.Power()
+			}
+			if !progressed {
+				break // class exhausted; move on to the next one
+			}
+		}
+		lo = hi
+	}
+}
+
+// relaxCapping lowers cap levels one step per tick under the configured
+// discipline, reporting whether any level changed.
 func (r *Rack) relaxCapping() bool {
+	if r.cfg.Mode == CapSeverity {
+		return r.relaxCappingSeverity()
+	}
+	return r.relaxCappingInterleaved()
+}
+
+// relaxCappingInterleaved lowers cap levels one step on every capped
+// server, highest CapPriority first so important servers recover sooner.
+func (r *Rack) relaxCappingInterleaved() bool {
 	changed := false
 	ordered := make([]Server, len(r.servers))
 	copy(ordered, r.servers)
@@ -379,4 +475,45 @@ func (r *Rack) relaxCapping() bool {
 		}
 	}
 	return changed
+}
+
+// relaxCappingSeverity restores in severity order: only the most critical
+// class that still has capped servers relaxes this tick, one level each;
+// more sheddable classes start recovering only once every class above them
+// is fully uncapped. Restoring in this order keeps the SeverityOrder
+// property intact on the way down as well as on the way up — uncapping
+// harvest first would leave critical work throttled while harvest ran free.
+func (r *Rack) relaxCappingSeverity() bool {
+	best := Severity(-1)
+	for _, s := range r.servers {
+		if s.CapLevel() > 0 {
+			if sv := SeverityOf(s); best < 0 || sv < best {
+				best = sv
+			}
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	var relaxed []Server
+	for _, s := range r.servers {
+		if SeverityOf(s) != best {
+			continue
+		}
+		if lvl := s.CapLevel(); lvl > 0 {
+			s.ForceCap(lvl - 1)
+			relaxed = append(relaxed, s)
+		}
+	}
+	// A whole class stepping up at once can overshoot the hysteresis
+	// margin: if the probe shows the relaxed rack at or over the limit,
+	// undo and hold the caps until the load drops further. Without this a
+	// restore tick itself can brown the rack out.
+	if len(relaxed) > 0 && r.Power() >= r.cfg.LimitWatts {
+		for _, s := range relaxed {
+			s.ForceCap(s.CapLevel() + 1)
+		}
+		return false
+	}
+	return len(relaxed) > 0
 }

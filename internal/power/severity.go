@@ -1,0 +1,104 @@
+package power
+
+import "fmt"
+
+// Severity classes a server by the blast radius of capping it, following the
+// prediction-based oversubscription design of Kumbhare et al. (same Azure
+// lineage as SmartOClock): class 0 hosts the most critical work and is
+// throttled last; higher classes are progressively more sheddable and are
+// throttled first. Severity ordering is coarser than CapPriority — the
+// priority only breaks ties inside one class, while the class boundary is a
+// hard ordering constraint the SeverityOrder invariant audits.
+type Severity int
+
+const (
+	// SeverityCritical is production work that capping may touch only after
+	// every other class is fully throttled.
+	SeverityCritical Severity = iota
+	// SeverityHigh is latency-sensitive but restartable work.
+	SeverityHigh
+	// SeverityMedium is throughput work that tolerates slowdown.
+	SeverityMedium
+	// SeverityLow is harvest/spot work admitted purely to soak up headroom;
+	// it is the first to be shed.
+	SeverityLow
+	// NumSeverities is the number of severity classes.
+	NumSeverities
+)
+
+// String returns the class name.
+func (s Severity) String() string {
+	switch s {
+	case SeverityCritical:
+		return "critical"
+	case SeverityHigh:
+		return "high"
+	case SeverityMedium:
+		return "medium"
+	case SeverityLow:
+		return "low"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// SeverityClassed is the optional interface a Server implements to declare
+// its severity class for severity-ordered capping.
+type SeverityClassed interface {
+	Severity() Severity
+}
+
+// SeverityOf returns a server's severity class, clamped into the valid
+// range. Servers that do not declare one default to SeverityMedium: safe to
+// shed before critical work, but never before explicitly sheddable harvest.
+func SeverityOf(s Server) Severity {
+	sv := SeverityMedium
+	if c, ok := s.(SeverityClassed); ok {
+		sv = c.Severity()
+	}
+	if sv < 0 {
+		sv = 0
+	}
+	if sv >= NumSeverities {
+		sv = NumSeverities - 1
+	}
+	return sv
+}
+
+// CapMode selects the rack manager's capping discipline.
+type CapMode int
+
+const (
+	// CapInterleaved is the original SmartOClock discipline: escalate cap
+	// levels one step per server round-robin, lowest CapPriority first. It
+	// spreads the pain but may leave a low-priority server only lightly
+	// capped while a high-priority one is already throttled.
+	CapInterleaved CapMode = iota
+	// CapSeverity is the oversubscription discipline: fully exhaust every
+	// server of the most sheddable class before touching the next class, so
+	// a critical server is never capped while harvest work runs uncapped.
+	CapSeverity
+	// CapDisabledUnsafe turns enforcement off entirely. It exists for
+	// exactly one purpose — proving invariant.NoBrownout fires when an
+	// over-admitting policy is not backed by capping. Never ship it.
+	CapDisabledUnsafe
+	// CapInvertedUnsafe caps the most critical class first. It exists for
+	// the invariant.SeverityOrder negative test. Never ship it.
+	CapInvertedUnsafe
+)
+
+// String returns the mode name.
+func (m CapMode) String() string {
+	switch m {
+	case CapInterleaved:
+		return "interleaved"
+	case CapSeverity:
+		return "severity"
+	case CapDisabledUnsafe:
+		return "disabled-unsafe"
+	case CapInvertedUnsafe:
+		return "inverted-unsafe"
+	default:
+		return fmt.Sprintf("CapMode(%d)", int(m))
+	}
+}

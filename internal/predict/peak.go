@@ -1,0 +1,52 @@
+package predict
+
+import (
+	"smartoclock/internal/stats"
+	"smartoclock/internal/timeseries"
+)
+
+// PeakQuantile returns the q-quantile (q in (0,1]) of a week template's
+// slot values — the predicted-peak statistic oversubscription admission
+// compares against the provisioned budget. Kumbhare et al. provision
+// against a high quantile of the predicted distribution rather than the
+// absolute maximum so a single outlier slot does not forfeit the headroom
+// the whole rack could otherwise harvest; the oversubscription policy here
+// uses q = 0.98.
+//
+// Slots that no history sample contributed to are excluded: a template
+// fitted on weekday-only history would otherwise dilute the peak with
+// phantom zero-valued weekend slots. When no slot carries sample counts at
+// all (synthetic templates such as timeseries.FlatWeek) the raw slot values
+// are used, provided any is positive. The second return is false when the
+// template is nil, unfitted, or carries no usable signal — callers must
+// fall back to conservative (nameplate) admission, never trust a zero.
+func PeakQuantile(t *timeseries.WeekTemplate, q float64) (float64, bool) {
+	if t == nil || q <= 0 || q > 1 {
+		return 0, false
+	}
+	var sampled, raw []float64
+	anyPositive := false
+	collect := func(d *timeseries.DayTemplate) {
+		if d == nil {
+			return
+		}
+		for i, v := range d.Slots {
+			raw = append(raw, v)
+			if v > 0 {
+				anyPositive = true
+			}
+			if d.SampleCount(i) > 0 {
+				sampled = append(sampled, v)
+			}
+		}
+	}
+	collect(t.Weekday)
+	collect(t.Weekend)
+	if len(sampled) > 0 {
+		return stats.Percentile(sampled, 100*q), true
+	}
+	if len(raw) > 0 && anyPositive {
+		return stats.Percentile(raw, 100*q), true
+	}
+	return 0, false
+}

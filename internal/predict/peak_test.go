@@ -1,0 +1,90 @@
+package predict
+
+import (
+	"testing"
+	"time"
+
+	"smartoclock/internal/timeseries"
+)
+
+// buildPeakSeries returns a template fitted on d days of synthetic history
+// where every day holds one spike of spikeWatts over a base of baseWatts.
+func buildPeakTemplate(t *testing.T, days int, baseWatts, spikeWatts float64) *timeseries.WeekTemplate {
+	t.Helper()
+	start := time.Date(2023, 4, 3, 0, 0, 0, 0, time.UTC) // Monday
+	step := 30 * time.Minute
+	s := timeseries.New(start, step)
+	perDay := int(24 * time.Hour / step)
+	for d := 0; d < days; d++ {
+		for i := 0; i < perDay; i++ {
+			v := baseWatts
+			if i == perDay/2 {
+				v = spikeWatts
+			}
+			s.Append(v)
+		}
+	}
+	return timeseries.BuildWeekTemplate(s, timeseries.ReduceMedian)
+}
+
+func TestPeakQuantileFindsSpike(t *testing.T) {
+	tpl := buildPeakTemplate(t, 7, 100, 900)
+	p, ok := PeakQuantile(tpl, 0.98)
+	if !ok {
+		t.Fatal("fitted template reported no signal")
+	}
+	if p <= 100 {
+		t.Fatalf("PeakQuantile = %v, did not see above the 100 W base", p)
+	}
+	// The full max must bound the quantile.
+	if max, _ := PeakQuantile(tpl, 1.0); p > max {
+		t.Fatalf("q98 %v above q100 %v", p, max)
+	}
+}
+
+func TestPeakQuantileQuantileDampensOutliers(t *testing.T) {
+	tpl := buildPeakTemplate(t, 7, 100, 5000)
+	p98, _ := PeakQuantile(tpl, 0.98)
+	p100, _ := PeakQuantile(tpl, 1.0)
+	if p98 >= p100 {
+		t.Fatalf("q98 %v should sit below the single-slot outlier max %v", p98, p100)
+	}
+}
+
+func TestPeakQuantileNoSignal(t *testing.T) {
+	if _, ok := PeakQuantile(nil, 0.98); ok {
+		t.Fatal("nil template reported a peak")
+	}
+	empty := timeseries.BuildWeekTemplate(timeseries.New(time.Unix(0, 0), time.Minute), timeseries.ReduceMedian)
+	if _, ok := PeakQuantile(empty, 0.98); ok {
+		t.Fatal("unfitted template reported a peak")
+	}
+	if _, ok := PeakQuantile(buildPeakTemplate(t, 7, 100, 900), 0); ok {
+		t.Fatal("q=0 accepted")
+	}
+	if _, ok := PeakQuantile(buildPeakTemplate(t, 7, 100, 900), 1.5); ok {
+		t.Fatal("q>1 accepted")
+	}
+}
+
+func TestPeakQuantileFlatWeekFallback(t *testing.T) {
+	// FlatWeek templates carry no sample counts; the raw slot values must
+	// still yield the flat level rather than a spurious miss.
+	p, ok := PeakQuantile(timeseries.FlatWeek(250, 30*time.Minute), 0.98)
+	if !ok || p != 250 {
+		t.Fatalf("FlatWeek peak = %v ok=%v, want 250", p, ok)
+	}
+}
+
+func TestPeakQuantileExcludesPhantomSlots(t *testing.T) {
+	// History covering only weekdays: weekend slots have no samples and
+	// must not dilute the quantile with zeros.
+	tpl := buildPeakTemplate(t, 5, 400, 500) // Mon-Fri only
+	p, ok := PeakQuantile(tpl, 0.5)
+	if !ok {
+		t.Fatal("weekday-only template reported no signal")
+	}
+	if p < 400 {
+		t.Fatalf("median %v dragged below the weekday base by unsampled weekend slots", p)
+	}
+}
