@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -29,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"smartoclock/internal/api"
 	"smartoclock/internal/experiment"
 	"smartoclock/internal/obs"
 	"smartoclock/internal/telemetry"
@@ -113,6 +115,15 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "with -serve: write periodic durable checkpoints of the control plane to this file")
 	checkpointEvery := flag.Duration("checkpoint-every", time.Minute, "with -serve -checkpoint: simulated time between checkpoints")
 	restore := flag.String("restore", "", "with -serve: warm-start the run from this checkpoint file")
+	apiDefaults := api.DefaultConfig()
+	if err := apiDefaults.FromEnv(os.LookupEnv); err != nil {
+		log.Fatal(err)
+	}
+	apiTokens := flag.String("api-tokens", apiDefaults.Tokens, "with -serve: enable the mutating control-plane API under /api/v1 with this credential spec (name:token:scope+scope[:rfc3339-expiry];...); empty disables it ($"+api.EnvTokens+")")
+	apiRate := flag.Float64("api-rate", apiDefaults.Rate, "with -api-tokens: per-credential rate limit in requests/second; <=0 disables limiting ($"+api.EnvRate+")")
+	apiBurst := flag.Float64("api-burst", apiDefaults.Burst, "with -api-tokens: rate-limit burst size ($"+api.EnvBurst+")")
+	apiMaxBody := flag.Int64("api-max-body", apiDefaults.MaxBody, "with -api-tokens: request body cap in bytes ($"+api.EnvMaxBody+")")
+	hold := flag.Bool("hold", false, "with -api-tokens: suspend the clock and tick only on /api/v1/advance commands")
 	flag.Parse()
 
 	comps, err := obs.ParseComponents(*traceComponents)
@@ -122,11 +133,6 @@ func main() {
 
 	if *serve != "" {
 		srv := telemetry.NewServer(telemetry.DefaultTailCap)
-		addr, err := srv.Start(*serve)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer srv.Close()
 		cfg := experiment.DefaultLiveConfig()
 		cfg.Seed = *seed
 		cfg.Duration = time.Duration(*minutes) * time.Minute
@@ -135,14 +141,40 @@ func main() {
 		cfg.CheckpointPath = *checkpoint
 		cfg.CheckpointEvery = *checkpointEvery
 		cfg.RestorePath = *restore
+		apiCfg := api.Config{Tokens: *apiTokens, Rate: *apiRate, Burst: *apiBurst, MaxBody: *apiMaxBody}
+		if apiCfg.Enabled() {
+			ctrl := experiment.NewLiveController()
+			h, err := apiCfg.Build(ctrl)
+			if err != nil {
+				log.Fatal(err)
+			}
+			srv.Mount("/api/", h)
+			cfg.Control = ctrl
+			cfg.Hold = *hold
+		} else if *hold {
+			log.Fatal("-hold needs -api-tokens (or $" + api.EnvTokens + "): only API advance commands can tick a held run")
+		}
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
 		if *restore != "" {
 			fmt.Fprintf(os.Stderr, "soccluster: warm-starting from %s\n", *restore)
+		}
+		if apiCfg.Enabled() {
+			fmt.Fprintf(os.Stderr, "soccluster: control-plane API on http://%s/api/v1 (hold=%v)\n", addr, *hold)
 		}
 		fmt.Fprintf(os.Stderr, "soccluster: live mode on http://%s — %v simulated at %v/tick...\n", addr, cfg.Duration, cfg.Pace)
 		res, err := experiment.RunLive(cfg, srv)
 		if err != nil {
 			log.Fatal(err)
 		}
+		// Let in-flight API responses (notably the shutdown ack) reach
+		// their clients before the process exits.
+		drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = srv.Drain(drainCtx)
+		cancel()
 		fmt.Println(res.Format())
 		return
 	}

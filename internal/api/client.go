@@ -1,0 +1,194 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// RemoteError is an API error as seen by a client: the HTTP status plus
+// the server's error envelope.
+type RemoteError struct {
+	StatusCode int
+	Kind       ErrorKind
+	Msg        string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	if e.Kind != "" {
+		return fmt.Sprintf("api: %d %s: %s", e.StatusCode, e.Kind, e.Msg)
+	}
+	return fmt.Sprintf("api: %d: %s", e.StatusCode, e.Msg)
+}
+
+// Client speaks the control-plane API over HTTP. It implements Service, so
+// test harnesses and CLIs can treat a remote cluster exactly like a local
+// port.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:9188".
+	Base string
+	// Token is the bearer credential.
+	Token string
+	// HTTP is the underlying client; nil uses a 30-second-timeout default.
+	HTTP *http.Client
+}
+
+// NewClient builds a client for base with the bearer token.
+func NewClient(base, token string) *Client {
+	return &Client{Base: base, Token: token, HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+var _ Service = (*Client)(nil)
+
+// call performs one command round-trip: in is the request body (nil for
+// none), out the response target (nil to discard).
+func (c *Client) call(ctx context.Context, cmd string, in, out any) error {
+	rt, ok := RouteFor(cmd)
+	if !ok {
+		return Invalidf("unknown command %q", cmd)
+	}
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("api: encode %s: %w", cmd, err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, rt.Method, c.Base+rt.Path, body)
+	if err != nil {
+		return fmt.Errorf("api: build %s: %w", cmd, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("api: %s: %w", cmd, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return fmt.Errorf("api: read %s response: %w", cmd, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		re := &RemoteError{StatusCode: resp.StatusCode, Msg: string(bytes.TrimSpace(data))}
+		var eb errorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			re.Kind, re.Msg = eb.Kind, eb.Error
+		}
+		return re
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("api: decode %s response: %w", cmd, err)
+	}
+	return nil
+}
+
+// Status implements Service.
+func (c *Client) Status(ctx context.Context) (*ClusterStatus, error) {
+	var st ClusterStatus
+	if err := c.call(ctx, CmdStatus, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// RegisterDeployment implements Service.
+func (c *Client) RegisterDeployment(ctx context.Context, spec DeploymentSpec) (*DeploymentStatus, error) {
+	var st DeploymentStatus
+	if err := c.call(ctx, CmdDeploy, spec, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// DrainDeployment implements Service.
+func (c *Client) DrainDeployment(ctx context.Context, name string) error {
+	return c.call(ctx, CmdDrain, DrainSpec{Name: name}, nil)
+}
+
+// SetProfile implements Service.
+func (c *Client) SetProfile(ctx context.Context, spec ProfileSpec) error {
+	return c.call(ctx, CmdProfile, spec, nil)
+}
+
+// SetBudget implements Service.
+func (c *Client) SetBudget(ctx context.Context, spec BudgetSpec) error {
+	return c.call(ctx, CmdBudget, spec, nil)
+}
+
+// AssignBudgets implements Service.
+func (c *Client) AssignBudgets(ctx context.Context, spec AssignSpec) (*AssignStatus, error) {
+	var st AssignStatus
+	if err := c.call(ctx, CmdAssign, spec, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// SetSeverity implements Service.
+func (c *Client) SetSeverity(ctx context.Context, spec SeveritySpec) error {
+	return c.call(ctx, CmdSeverity, spec, nil)
+}
+
+// StartOverclock implements Service.
+func (c *Client) StartOverclock(ctx context.Context, spec OCSpec) (*OCStatus, error) {
+	var st OCStatus
+	if err := c.call(ctx, CmdOCStart, spec, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// StopOverclock implements Service.
+func (c *Client) StopOverclock(ctx context.Context, spec StopSpec) error {
+	return c.call(ctx, CmdOCStop, spec, nil)
+}
+
+// SetChaos implements Service.
+func (c *Client) SetChaos(ctx context.Context, spec ChaosSpec) (*ChaosStatus, error) {
+	var st ChaosStatus
+	if err := c.call(ctx, CmdChaos, spec, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// ForceCheckpoint implements Service.
+func (c *Client) ForceCheckpoint(ctx context.Context) (*CheckpointStatus, error) {
+	var st CheckpointStatus
+	if err := c.call(ctx, CmdCheckpoint, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Advance implements Service.
+func (c *Client) Advance(ctx context.Context, spec AdvanceSpec) (*AdvanceStatus, error) {
+	var st AdvanceStatus
+	if err := c.call(ctx, CmdAdvance, spec, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Shutdown implements Service.
+func (c *Client) Shutdown(ctx context.Context) error {
+	return c.call(ctx, CmdShutdown, nil, nil)
+}

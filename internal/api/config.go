@@ -1,0 +1,90 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Environment variables of the 12-factor configuration surface. Flags on
+// the serving binary override them; both feed the same Config.
+const (
+	// EnvTokens is the credential spec (see ParseCredentials). Empty
+	// disables the control-plane API entirely.
+	EnvTokens = "SOC_API_TOKENS"
+	// EnvRate/EnvBurst tune the per-credential token bucket.
+	EnvRate  = "SOC_API_RATE"
+	EnvBurst = "SOC_API_BURST"
+	// EnvMaxBody caps request bodies in bytes.
+	EnvMaxBody = "SOC_API_MAX_BODY"
+)
+
+// Config is the deployable configuration of the HTTP adapter.
+type Config struct {
+	// Tokens is the credential spec; empty means the API is disabled.
+	Tokens string
+	// Rate/Burst parameterize the per-credential token bucket
+	// (requests/second and bucket size). Rate <= 0 disables limiting.
+	Rate  float64
+	Burst float64
+	// MaxBody caps request bodies in bytes; <=0 uses DefaultMaxBody.
+	MaxBody int64
+}
+
+// DefaultConfig returns the production defaults: 50 req/s with a burst of
+// 100 per credential, 64 KiB bodies, no credentials (API off until
+// configured).
+func DefaultConfig() Config {
+	return Config{Rate: 50, Burst: 100, MaxBody: DefaultMaxBody}
+}
+
+// FromEnv overlays environment variables onto c. lookup is os.LookupEnv in
+// production, injectable for tests.
+func (c *Config) FromEnv(lookup func(string) (string, bool)) error {
+	if v, ok := lookup(EnvTokens); ok {
+		c.Tokens = v
+	}
+	if v, ok := lookup(EnvRate); ok {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("api: %s=%q: %w", EnvRate, v, err)
+		}
+		c.Rate = f
+	}
+	if v, ok := lookup(EnvBurst); ok {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("api: %s=%q: %w", EnvBurst, v, err)
+		}
+		c.Burst = f
+	}
+	if v, ok := lookup(EnvMaxBody); ok {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("api: %s=%q: %w", EnvMaxBody, v, err)
+		}
+		c.MaxBody = n
+	}
+	return nil
+}
+
+// Enabled reports whether credentials are configured.
+func (c Config) Enabled() bool { return c.Tokens != "" }
+
+// Build parses the credentials and assembles the authenticated HTTP
+// adapter over svc.
+func (c Config) Build(svc Service) (http.Handler, error) {
+	auth, err := ParseCredentials(c.Tokens)
+	if err != nil {
+		return nil, err
+	}
+	var limiter *RateLimiter
+	if c.Rate > 0 {
+		burst := c.Burst
+		if burst <= 0 {
+			burst = c.Rate
+		}
+		limiter = NewRateLimiter(c.Rate, burst)
+	}
+	return NewHandler(svc, auth, HandlerConfig{MaxBody: c.MaxBody, Limiter: limiter}), nil
+}

@@ -1,0 +1,51 @@
+package api
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzCommandDecode fuzzes the single decode entry point of the HTTP
+// adapter: for any (command, body) pair it must either return a validated
+// spec or a typed error — never panic, and never hand back a spec its own
+// Validate rejects.
+func FuzzCommandDecode(f *testing.F) {
+	for _, rt := range Routes() {
+		f.Add(rt.Cmd, []byte(""))
+		f.Add(rt.Cmd, []byte("{}"))
+	}
+	f.Add(CmdDeploy, []byte(`{"name":"web","server":"lv-00","cores":2,"util":0.5}`))
+	f.Add(CmdDeploy, []byte(`{"name":"web","cores":-2}`))
+	f.Add(CmdOCStart, []byte(`{"server":"lv-00","vm":"vm","target_mhz":3800}`))
+	f.Add(CmdAdvance, []byte(`{"ticks":100001}`))
+	f.Add(CmdChaos, []byte(`{"agent":"goa","down":true} trailing`))
+	f.Add(CmdBudget, []byte(`{"watts":1e308}`))
+	f.Add(CmdSeverity, []byte(`{"server":"x","severity":9007199254740993}`))
+	f.Add("no-such-command", []byte(`{}`))
+	f.Add(CmdProfile, []byte(`{"server":" ","median_watts":-0}`))
+	f.Add(CmdDrain, []byte(strings.Repeat("[", 1000)))
+
+	f.Fuzz(func(t *testing.T, cmd string, body []byte) {
+		spec, err := DecodeCommand(cmd, body)
+		if err != nil {
+			if KindOf(err) != KindInvalid {
+				t.Fatalf("DecodeCommand(%q) returned a non-invalid error: %v", cmd, err)
+			}
+			return
+		}
+		// A success must round-trip its own validation.
+		v, ok := spec.(interface{ Validate() error })
+		if !ok {
+			t.Fatalf("DecodeCommand(%q) returned %T without Validate", cmd, spec)
+		}
+		if verr := v.Validate(); verr != nil {
+			t.Fatalf("DecodeCommand(%q) returned a spec failing its own Validate: %v", cmd, verr)
+		}
+		// Only known commands may succeed.
+		if _, known := RouteFor(cmd); !known {
+			t.Fatalf("DecodeCommand accepted unknown command %q", cmd)
+		}
+		_ = utf8.ValidString(cmd) // fuzz inputs may be arbitrary bytes; decode must not care
+	})
+}

@@ -1,0 +1,321 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Command names identify each control-plane operation across the HTTP
+// adapter, the CLI and the fuzzer.
+const (
+	CmdStatus     = "status"
+	CmdDeploy     = "deployment.register"
+	CmdDrain      = "deployment.drain"
+	CmdProfile    = "profile.set"
+	CmdBudget     = "budget.set"
+	CmdAssign     = "budget.assign"
+	CmdSeverity   = "severity.set"
+	CmdOCStart    = "overclock.start"
+	CmdOCStop     = "overclock.stop"
+	CmdChaos      = "chaos.set"
+	CmdCheckpoint = "checkpoint.force"
+	CmdAdvance    = "advance"
+	CmdShutdown   = "shutdown"
+)
+
+// Route describes one HTTP endpoint: its method+path, required scope, and
+// whether it mutates cluster state. Exported so the conformance suites can
+// enumerate the full auth matrix instead of hand-maintaining it.
+type Route struct {
+	Cmd      string
+	Method   string
+	Path     string
+	Scope    Scope
+	Mutating bool
+}
+
+// Routes returns every endpoint of the control-plane API, in a fixed order.
+func Routes() []Route {
+	return []Route{
+		{CmdStatus, http.MethodGet, "/api/v1/status", ScopeRead, false},
+		{CmdDeploy, http.MethodPost, "/api/v1/deployments", ScopeOperate, true},
+		{CmdDrain, http.MethodPost, "/api/v1/deployments/drain", ScopeOperate, true},
+		{CmdProfile, http.MethodPost, "/api/v1/profiles", ScopeOperate, true},
+		{CmdBudget, http.MethodPost, "/api/v1/budgets", ScopeOperate, true},
+		{CmdAssign, http.MethodPost, "/api/v1/budgets/assign", ScopeOperate, true},
+		{CmdSeverity, http.MethodPost, "/api/v1/severity", ScopeOperate, true},
+		{CmdOCStart, http.MethodPost, "/api/v1/overclock", ScopeOperate, true},
+		{CmdOCStop, http.MethodPost, "/api/v1/overclock/stop", ScopeOperate, true},
+		{CmdChaos, http.MethodPost, "/api/v1/chaos", ScopeChaos, true},
+		{CmdCheckpoint, http.MethodPost, "/api/v1/checkpoint", ScopeAdmin, true},
+		{CmdAdvance, http.MethodPost, "/api/v1/advance", ScopeAdmin, true},
+		{CmdShutdown, http.MethodPost, "/api/v1/shutdown", ScopeAdmin, true},
+	}
+}
+
+// RouteFor returns the route for a command name.
+func RouteFor(cmd string) (Route, bool) {
+	for _, r := range Routes() {
+		if r.Cmd == cmd {
+			return r, true
+		}
+	}
+	return Route{}, false
+}
+
+// decodeStrict unmarshals body into T rejecting unknown fields and trailing
+// garbage, then validates. An empty body decodes the zero value (commands
+// whose every field is optional accept it).
+func decodeStrict[T interface{ Validate() error }](body []byte) (T, error) {
+	var v T
+	if len(bytes.TrimSpace(body)) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&v); err != nil {
+			return v, Invalidf("decode: %v", err)
+		}
+		if dec.More() {
+			return v, Invalidf("decode: trailing data after JSON body")
+		}
+	}
+	if err := v.Validate(); err != nil {
+		return v, err
+	}
+	return v, nil
+}
+
+// emptySpec is the body of commands that take no parameters.
+type emptySpec struct{}
+
+// Validate implements the decode contract.
+func (emptySpec) Validate() error { return nil }
+
+// DecodeCommand decodes and validates the request body for a command name,
+// returning the typed spec. It is the single entry point the HTTP handlers
+// use, and the surface FuzzCommandDecode drives: for any input it must
+// return either a valid spec or an error, never panic.
+func DecodeCommand(cmd string, body []byte) (any, error) {
+	switch cmd {
+	case CmdStatus, CmdCheckpoint, CmdShutdown:
+		return decodeStrict[emptySpec](body)
+	case CmdDeploy:
+		return decodeStrict[DeploymentSpec](body)
+	case CmdDrain:
+		return decodeStrict[DrainSpec](body)
+	case CmdProfile:
+		return decodeStrict[ProfileSpec](body)
+	case CmdBudget:
+		return decodeStrict[BudgetSpec](body)
+	case CmdAssign:
+		return decodeStrict[AssignSpec](body)
+	case CmdSeverity:
+		return decodeStrict[SeveritySpec](body)
+	case CmdOCStart:
+		return decodeStrict[OCSpec](body)
+	case CmdOCStop:
+		return decodeStrict[StopSpec](body)
+	case CmdChaos:
+		return decodeStrict[ChaosSpec](body)
+	case CmdAdvance:
+		return decodeStrict[AdvanceSpec](body)
+	default:
+		return nil, Invalidf("unknown command %q", cmd)
+	}
+}
+
+// HandlerConfig tunes the HTTP adapter.
+type HandlerConfig struct {
+	// MaxBody caps request bodies in bytes; <=0 uses DefaultMaxBody.
+	MaxBody int64
+	// Limiter rate-limits per credential (plus a shared bucket for
+	// unauthenticated callers); nil disables limiting.
+	Limiter *RateLimiter
+	// Now is the auth clock (token expiry); nil uses time.Now.
+	Now func() time.Time
+}
+
+// DefaultMaxBody caps request bodies at 64 KiB — orders of magnitude above
+// any legitimate control-plane payload.
+const DefaultMaxBody = 64 << 10
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string    `json:"error"`
+	Kind  ErrorKind `json:"kind,omitempty"`
+}
+
+// handler is the driving HTTP adapter over a Service.
+type handler struct {
+	svc  Service
+	auth *Authenticator
+	cfg  HandlerConfig
+	mux  *http.ServeMux
+}
+
+// NewHandler wraps svc in the authenticated HTTP adapter. Every request is
+// size-capped, authenticated against auth, authorized against the route's
+// scope, rate-limited per credential, decoded strictly, dispatched, and
+// answered in JSON.
+func NewHandler(svc Service, auth *Authenticator, cfg HandlerConfig) http.Handler {
+	if svc == nil || auth == nil {
+		panic("api: NewHandler needs a service and an authenticator")
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = DefaultMaxBody
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	h := &handler{svc: svc, auth: auth, cfg: cfg, mux: http.NewServeMux()}
+	for _, rt := range Routes() {
+		rt := rt
+		h.mux.HandleFunc(rt.Method+" "+rt.Path, func(w http.ResponseWriter, r *http.Request) {
+			h.serve(rt, w, r)
+		})
+	}
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// bearerToken extracts the Bearer token, "" when absent or malformed.
+func bearerToken(r *http.Request) string {
+	v := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(v) <= len(prefix) || !strings.EqualFold(v[:len(prefix)], prefix) {
+		return ""
+	}
+	return strings.TrimSpace(v[len(prefix):])
+}
+
+func (h *handler) serve(rt Route, w http.ResponseWriter, r *http.Request) {
+	// 1. Authenticate. Failures share one throttle bucket so token probing
+	// is rate-limited too, and the body never says which check failed.
+	cred, err := h.auth.Lookup(bearerToken(r), h.cfg.Now())
+	if err != nil {
+		if !h.cfg.Limiter.Allow("!unauthenticated") {
+			writeError(w, http.StatusTooManyRequests, "rate limited")
+			return
+		}
+		w.Header().Set("WWW-Authenticate", `Bearer realm="smartoclock"`)
+		writeError(w, http.StatusUnauthorized, "unauthorized")
+		return
+	}
+	// 2. Authorize the route's scope.
+	if !cred.Allows(rt.Scope) {
+		writeError(w, http.StatusForbidden,
+			fmt.Sprintf("credential %q lacks scope %q", cred.Name, rt.Scope))
+		return
+	}
+	// 3. Rate-limit per credential.
+	if !h.cfg.Limiter.Allow(cred.Name) {
+		writeError(w, http.StatusTooManyRequests, "rate limited")
+		return
+	}
+	// 4. Read the size-capped body and decode the command.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, h.cfg.MaxBody))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", h.cfg.MaxBody))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	spec, err := DecodeCommand(rt.Cmd, body)
+	if err != nil {
+		h.writeServiceError(w, err)
+		return
+	}
+	// 5. Dispatch to the port.
+	v, err := h.dispatch(rt.Cmd, r, spec)
+	if err != nil {
+		h.writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// okBody acknowledges mutations that return no data.
+type okBody struct {
+	OK  bool   `json:"ok"`
+	Cmd string `json:"cmd"`
+}
+
+func (h *handler) dispatch(cmd string, r *http.Request, spec any) (any, error) {
+	ctx := r.Context()
+	ack := func(err error) (any, error) {
+		if err != nil {
+			return nil, err
+		}
+		return okBody{OK: true, Cmd: cmd}, nil
+	}
+	switch cmd {
+	case CmdStatus:
+		return h.svc.Status(ctx)
+	case CmdDeploy:
+		return h.svc.RegisterDeployment(ctx, spec.(DeploymentSpec))
+	case CmdDrain:
+		return ack(h.svc.DrainDeployment(ctx, spec.(DrainSpec).Name))
+	case CmdProfile:
+		return ack(h.svc.SetProfile(ctx, spec.(ProfileSpec)))
+	case CmdBudget:
+		return ack(h.svc.SetBudget(ctx, spec.(BudgetSpec)))
+	case CmdAssign:
+		return h.svc.AssignBudgets(ctx, spec.(AssignSpec))
+	case CmdSeverity:
+		return ack(h.svc.SetSeverity(ctx, spec.(SeveritySpec)))
+	case CmdOCStart:
+		return h.svc.StartOverclock(ctx, spec.(OCSpec))
+	case CmdOCStop:
+		return ack(h.svc.StopOverclock(ctx, spec.(StopSpec)))
+	case CmdChaos:
+		return h.svc.SetChaos(ctx, spec.(ChaosSpec))
+	case CmdCheckpoint:
+		return h.svc.ForceCheckpoint(ctx)
+	case CmdAdvance:
+		return h.svc.Advance(ctx, spec.(AdvanceSpec))
+	case CmdShutdown:
+		return ack(h.svc.Shutdown(ctx))
+	default:
+		return nil, Invalidf("unknown command %q", cmd)
+	}
+}
+
+// writeServiceError maps a Service error to its HTTP status.
+func (h *handler) writeServiceError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch KindOf(err) {
+	case KindInvalid:
+		status = http.StatusBadRequest
+	case KindNotFound:
+		status = http.StatusNotFound
+	case KindConflict:
+		status = http.StatusConflict
+	case KindUnavailable:
+		status = http.StatusServiceUnavailable
+	}
+	body := errorBody{Error: err.Error(), Kind: KindOf(err)}
+	writeJSON(w, status, body)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,654 @@
+package experiment
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smartoclock/internal/api"
+	"smartoclock/internal/cluster"
+	"smartoclock/internal/core"
+	"smartoclock/internal/invariant"
+	"smartoclock/internal/metrics"
+	"smartoclock/internal/power"
+	"smartoclock/internal/predict"
+	"smartoclock/internal/store"
+	"smartoclock/internal/timeseries"
+)
+
+// liveServer is one emulated server of the live plane with its sOA and its
+// control-plane identity.
+type liveServer struct {
+	srv     *cluster.Server
+	agentID string
+	soa     *core.SOA
+	rng     *rand.Rand
+}
+
+// liveDeployment is an API-registered workload owning cores on one server.
+// Its cores run at util each tick (overriding the background pattern), and
+// its name doubles as the VM name for overclock sessions.
+type liveDeployment struct {
+	name   string
+	server string
+	cores  []int
+	util   float64
+}
+
+// liveWorld is the complete mutable state of one RunLive invocation. It is
+// owned by the run goroutine: every mutation — simulation ticks, inbound
+// control messages and API commands alike — is applied by that goroutine,
+// with shared reads (HTTP scrapes) going through the locked registry. API
+// commands therefore enter the same single-writer channel-inbox model as
+// the TCP control plane, which is what keeps the invariant battery and the
+// hold-mode determinism guarantees intact.
+type liveWorld struct {
+	cfg LiveConfig
+	lk  *metrics.Locked
+
+	// now is the simulated time of the next tick to run; end the last.
+	now time.Time
+	end time.Time
+
+	servers []*liveServer
+	byName  map[string]*liveServer
+	goa     *core.GOA
+	rack    *power.Rack
+	vmCores []int
+
+	deployments map[string]*liveDeployment
+	// coreOwner maps server → core index → deployment name for the free
+	// pool (indices at or above len(vmCores)).
+	coreOwner map[string]map[int]string
+
+	// chaosDown marks agents ("goa", "soa/<server>") whose control
+	// messages are dropped in both directions; dropped counts the drops.
+	chaosDown map[string]bool
+	dropped   int
+
+	res       *LiveResult
+	checker   *invariant.Checker
+	stateInfo *store.StateInfo
+	statePub  interface{ PublishState(store.StateInfo) }
+
+	ckptWrites *metrics.Counter
+	ckptErrors *metrics.Counter
+	ckptBytes  *metrics.Gauge
+
+	buildCheckpoint func() *store.Checkpoint
+	// doTick runs exactly one simulation tick (set by RunLive).
+	doTick   func()
+	shutdown bool
+
+	// sent/received count control messages successfully written to and
+	// delivered from the loopback links; hold mode barriers on their
+	// equality so tick N+1 always drains everything tick N sent.
+	sent     atomic.Int64
+	received atomic.Int64
+}
+
+// do runs fn under the shared registry lock.
+func (w *liveWorld) do(fn func()) { w.lk.Do(func(*metrics.Registry) { fn() }) }
+
+// server resolves a server name (byName is immutable after setup).
+func (w *liveWorld) server(name string) (*liveServer, error) {
+	ls, ok := w.byName[name]
+	if !ok {
+		return nil, api.NotFoundf("no server %q", name)
+	}
+	return ls, nil
+}
+
+// sendAllowed gates one control-plane send on the chaos fault state: a
+// message is dropped when either endpoint is down. Must run under the lock.
+func (w *liveWorld) sendAllowed(from, to string) bool {
+	if w.chaosDown[from] || w.chaosDown[to] {
+		w.dropped++
+		return false
+	}
+	return true
+}
+
+// --- Command implementations (run-goroutine only) --------------------------
+
+func (w *liveWorld) buildStatus() *api.ClusterStatus {
+	st := &api.ClusterStatus{
+		Now:      w.now,
+		Hold:     w.cfg.Hold,
+		Ticks:    w.res.Ticks,
+		Requests: w.res.Requests,
+		Granted:  w.res.Granted,
+		Rack: api.RackStatus{
+			Name:       w.rack.Name(),
+			LimitWatts: w.rack.Config().LimitWatts,
+			PowerWatts: w.rack.Power(),
+			CapEvents:  w.rack.CapEvents(),
+			Warnings:   w.rack.Warnings(),
+		},
+		ChaosDropped: w.dropped,
+		Checkpoint: api.CheckpointInfo{
+			Path:         w.stateInfo.CheckpointPath,
+			Writes:       w.stateInfo.Writes,
+			LastBytes:    w.stateInfo.LastBytes,
+			LastSavedAt:  w.stateInfo.LastSavedAt,
+			RestoredFrom: w.stateInfo.RestoredFrom,
+		},
+	}
+	if w.checker != nil {
+		st.Violations = w.checker.Total()
+	}
+	st.ProfiledServers = w.goa.Servers()
+	for a := range w.chaosDown {
+		st.ChaosDown = append(st.ChaosDown, a)
+	}
+	sort.Strings(st.ChaosDown)
+	for _, ls := range w.servers {
+		ss := api.ServerStatus{
+			Name:         ls.srv.Name(),
+			Severity:     int(ls.srv.Severity()),
+			SeverityName: ls.srv.Severity().String(),
+			CapLevel:     ls.srv.CapLevel(),
+			PowerWatts:   ls.srv.Power(),
+			BudgetWatts:  ls.soa.BudgetAt(w.now),
+		}
+		sessions := ls.soa.Sessions()
+		vms := make([]string, 0, len(sessions))
+		for vm := range sessions {
+			vms = append(vms, vm)
+		}
+		sort.Strings(vms)
+		for _, vm := range vms {
+			s := sessions[vm]
+			ss.Sessions = append(ss.Sessions, api.SessionStatus{
+				VM:       vm,
+				Cores:    append([]int(nil), s.Cores...),
+				MHz:      s.CurrentMHz(),
+				Priority: s.Priority.String(),
+			})
+		}
+		st.Servers = append(st.Servers, ss)
+	}
+	names := make([]string, 0, len(w.deployments))
+	for name := range w.deployments {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d := w.deployments[name]
+		for i := range st.Servers {
+			if st.Servers[i].Name == d.server {
+				st.Servers[i].Deployments = append(st.Servers[i].Deployments, api.DeploymentStatus{
+					Name: d.name, Server: d.server,
+					Cores: append([]int(nil), d.cores...), Util: d.util,
+				})
+			}
+		}
+	}
+	return st
+}
+
+func (w *liveWorld) registerDeployment(spec api.DeploymentSpec) (*api.DeploymentStatus, error) {
+	if _, dup := w.deployments[spec.Name]; dup {
+		return nil, api.Conflictf("deployment %q already registered", spec.Name)
+	}
+	ls, err := w.server(spec.Server)
+	if err != nil {
+		return nil, err
+	}
+	owners := w.coreOwner[spec.Server]
+	var free []int
+	for c := len(w.vmCores); c < ls.srv.NumCores(); c++ {
+		if owners[c] == "" {
+			free = append(free, c)
+		}
+	}
+	if len(free) < spec.Cores {
+		return nil, api.Conflictf("server %s has %d free cores, deployment %q needs %d",
+			spec.Server, len(free), spec.Name, spec.Cores)
+	}
+	cores := append([]int(nil), free[:spec.Cores]...)
+	dep := &liveDeployment{name: spec.Name, server: spec.Server, cores: cores, util: spec.Util}
+	w.do(func() {
+		for _, c := range cores {
+			owners[c] = spec.Name
+			ls.srv.SetCoreUtil(c, spec.Util)
+		}
+		w.deployments[spec.Name] = dep
+	})
+	return &api.DeploymentStatus{Name: dep.name, Server: dep.server,
+		Cores: append([]int(nil), cores...), Util: dep.util}, nil
+}
+
+func (w *liveWorld) drainDeployment(name string) error {
+	dep, ok := w.deployments[name]
+	if !ok {
+		return api.NotFoundf("no deployment %q", name)
+	}
+	ls := w.byName[dep.server]
+	w.do(func() {
+		ls.soa.Stop(w.now, name)
+		owners := w.coreOwner[dep.server]
+		for _, c := range dep.cores {
+			delete(owners, c)
+			ls.srv.SetCoreUtil(c, 0)
+		}
+		delete(w.deployments, name)
+	})
+	return nil
+}
+
+func (w *liveWorld) setProfile(spec api.ProfileSpec) error {
+	ls, err := w.server(spec.Server)
+	if err != nil {
+		return err
+	}
+	cost := spec.CoreCostWatts
+	if cost == 0 {
+		cost = ls.srv.Machine().Config().OCCoreCost()
+	}
+	w.do(func() {
+		w.goa.SetProfile(spec.Server, core.ServerProfile{
+			Power: timeseries.FlatWeek(spec.MedianWatts, time.Hour),
+			OC: &predict.OCTemplate{
+				Requested: timeseries.FlatWeek(spec.RequestedCores, time.Hour),
+				Granted:   timeseries.FlatWeek(spec.GrantedCores, time.Hour),
+			},
+			OCCoreCost: cost,
+		})
+	})
+	return nil
+}
+
+func (w *liveWorld) setBudget(spec api.BudgetSpec) error {
+	ls, err := w.server(spec.Server)
+	if err != nil {
+		return err
+	}
+	w.do(func() { ls.soa.SetStaticBudget(spec.Watts, true) })
+	return nil
+}
+
+func (w *liveWorld) assignBudgets(spec api.AssignSpec) (*api.AssignStatus, error) {
+	step := time.Duration(spec.StepMinutes) * time.Minute
+	if step == 0 {
+		step = time.Hour
+	}
+	st := &api.AssignStatus{}
+	var err error
+	w.do(func() {
+		templates := w.goa.BudgetTemplates(step)
+		if len(templates) == 0 {
+			err = api.Unavailablef("no server profiles reported yet")
+			return
+		}
+		for name, tmpl := range templates {
+			ls, ok := w.byName[name]
+			if !ok {
+				continue
+			}
+			ls.soa.SetAssignedBudget(tmpl)
+			st.Servers++
+		}
+		st.Budgets = w.goa.BudgetsAt(w.now)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (w *liveWorld) setSeverity(spec api.SeveritySpec) error {
+	ls, err := w.server(spec.Server)
+	if err != nil {
+		return err
+	}
+	w.do(func() { ls.srv.SetSeverity(power.Severity(spec.Severity)) })
+	return nil
+}
+
+func (w *liveWorld) startOverclock(spec api.OCSpec) (*api.OCStatus, error) {
+	ls, err := w.server(spec.Server)
+	if err != nil {
+		return nil, err
+	}
+	var owned []int
+	switch {
+	case spec.VM == "vm":
+		owned = w.vmCores
+	default:
+		dep, ok := w.deployments[spec.VM]
+		if !ok || dep.server != spec.Server {
+			return nil, api.NotFoundf("no vm %q on server %s", spec.VM, spec.Server)
+		}
+		owned = dep.cores
+	}
+	n := spec.Cores
+	if n == 0 {
+		n = len(owned)
+	}
+	if n > len(owned) {
+		return nil, api.Invalidf("vm %q owns %d cores, requested %d", spec.VM, len(owned), n)
+	}
+	target := spec.TargetMHz
+	if target == 0 {
+		target = ls.srv.MaxOCMHz()
+	}
+	var d core.Decision
+	w.do(func() {
+		w.res.Requests++
+		d = ls.soa.Request(w.now, core.Request{
+			VM: spec.VM, Cores: n, TargetMHz: target,
+			Priority:       core.PriorityMetric,
+			Duration:       time.Duration(spec.DurationSec) * time.Second,
+			PreferredCores: append([]int(nil), owned[:n]...),
+		})
+		if d.Granted {
+			w.res.Granted++
+		}
+	})
+	return &api.OCStatus{Granted: d.Granted, Reason: string(d.Reason),
+		Cores: append([]int(nil), d.Cores...)}, nil
+}
+
+func (w *liveWorld) stopOverclock(spec api.StopSpec) error {
+	ls, err := w.server(spec.Server)
+	if err != nil {
+		return err
+	}
+	var found bool
+	w.do(func() {
+		if _, ok := ls.soa.Sessions()[spec.VM]; ok {
+			found = true
+			ls.soa.Stop(w.now, spec.VM)
+		}
+	})
+	if !found {
+		return api.NotFoundf("no active session for vm %q on server %s", spec.VM, spec.Server)
+	}
+	return nil
+}
+
+func (w *liveWorld) setChaos(spec api.ChaosSpec) (*api.ChaosStatus, error) {
+	agent := spec.Agent
+	switch {
+	case agent == "goa":
+	case strings.HasPrefix(agent, "soa/"):
+		if _, ok := w.byName[strings.TrimPrefix(agent, "soa/")]; !ok {
+			return nil, api.NotFoundf("no agent %q", agent)
+		}
+	default:
+		// A bare server name is shorthand for its sOA.
+		if _, ok := w.byName[agent]; !ok {
+			return nil, api.NotFoundf("no agent %q", agent)
+		}
+		agent = "soa/" + agent
+	}
+	st := &api.ChaosStatus{Agent: agent, Down: spec.Down}
+	w.do(func() {
+		if spec.Down {
+			w.chaosDown[agent] = true
+		} else {
+			delete(w.chaosDown, agent)
+		}
+		for a := range w.chaosDown {
+			st.DownAgents = append(st.DownAgents, a)
+		}
+	})
+	sort.Strings(st.DownAgents)
+	return st, nil
+}
+
+// checkpointNow writes a durable checkpoint immediately, sharing the
+// periodic path's metrics and state publication. The snapshot is taken
+// under the lock, the disk write outside it.
+func (w *liveWorld) checkpointNow() (*api.CheckpointStatus, error) {
+	if w.cfg.CheckpointPath == "" {
+		return nil, api.Unavailablef("run has no -checkpoint path configured")
+	}
+	var cp *store.Checkpoint
+	w.do(func() { cp = w.buildCheckpoint() })
+	data, err := store.Encode(w.now, cp)
+	if err == nil {
+		err = store.SaveEncoded(w.cfg.CheckpointPath, data)
+	}
+	w.do(func() {
+		if err != nil {
+			w.ckptErrors.Inc()
+		} else {
+			w.ckptWrites.Inc()
+			w.ckptBytes.Set(float64(len(data)))
+		}
+	})
+	if err != nil {
+		return nil, api.Unavailablef("checkpoint: %v", err)
+	}
+	w.res.Checkpoints++
+	w.stateInfo.Writes = w.res.Checkpoints
+	w.stateInfo.LastSavedAt = w.now
+	w.stateInfo.LastBytes = len(data)
+	if w.statePub != nil {
+		w.statePub.PublishState(*w.stateInfo)
+	}
+	return &api.CheckpointStatus{
+		Path:    w.cfg.CheckpointPath,
+		Bytes:   len(data),
+		Writes:  w.res.Checkpoints,
+		SavedAt: w.now,
+	}, nil
+}
+
+func (w *liveWorld) advance(spec api.AdvanceSpec) (*api.AdvanceStatus, error) {
+	if !w.cfg.Hold {
+		return nil, api.Conflictf("advance requires a run started in hold mode")
+	}
+	n := spec.Ticks
+	if n == 0 {
+		n = 1
+	}
+	ran := 0
+	for i := 0; i < n && !w.now.After(w.end) && !w.shutdown; i++ {
+		w.doTick()
+		ran++
+	}
+	return &api.AdvanceStatus{Ticks: ran, Now: w.now}, nil
+}
+
+// --- LiveController: the api.Service adapter -------------------------------
+
+type liveReply struct {
+	v   any
+	err error
+}
+
+type liveCmd struct {
+	apply func(w *liveWorld) (any, error)
+	reply chan liveReply
+}
+
+// LiveController adapts the api.Service port onto a live cluster run: each
+// call is enqueued as a command and applied by the run goroutine between
+// ticks, so callers get synchronous read-your-writes semantics while the
+// simulation keeps its single-writer discipline. Construct one with
+// NewLiveController, set it as LiveConfig.Control, and hand Service
+// callers (the HTTP adapter, socctl, tests) the controller itself.
+type LiveController struct {
+	cmds chan liveCmd
+	done chan struct{}
+	once sync.Once
+}
+
+// NewLiveController returns a controller ready to attach to a LiveConfig.
+// Commands submitted before the run starts queue up (bounded) and apply
+// once it does.
+func NewLiveController() *LiveController {
+	return &LiveController{cmds: make(chan liveCmd, 1024), done: make(chan struct{})}
+}
+
+var _ api.Service = (*LiveController)(nil)
+
+// finish ends the controller's life: pending and future commands fail with
+// an unavailable error. Called by RunLive on exit.
+func (c *LiveController) finish() {
+	c.once.Do(func() { close(c.done) })
+	for {
+		select {
+		case cmd := <-c.cmds:
+			cmd.reply <- liveReply{nil, api.Unavailablef("live run ended")}
+		default:
+			return
+		}
+	}
+}
+
+// exec applies one command on the run goroutine and replies.
+func (c *LiveController) exec(w *liveWorld, cmd liveCmd) {
+	v, err := cmd.apply(w)
+	cmd.reply <- liveReply{v, err}
+}
+
+// drain applies every queued command without blocking.
+func (c *LiveController) drain(w *liveWorld) {
+	for {
+		select {
+		case cmd := <-c.cmds:
+			c.exec(w, cmd)
+		default:
+			return
+		}
+	}
+}
+
+// submit enqueues fn and waits for the run goroutine to apply it.
+func (c *LiveController) submit(ctx context.Context, fn func(w *liveWorld) (any, error)) (any, error) {
+	cmd := liveCmd{apply: fn, reply: make(chan liveReply, 1)}
+	select {
+	case c.cmds <- cmd:
+	case <-c.done:
+		return nil, api.Unavailablef("live run not accepting commands")
+	case <-ctx.Done():
+		return nil, api.Unavailablef("canceled: %v", ctx.Err())
+	}
+	select {
+	case r := <-cmd.reply:
+		return r.v, r.err
+	case <-c.done:
+		// The run ended between enqueue and apply; finish() answers the
+		// buffered reply if it drained the command.
+		select {
+		case r := <-cmd.reply:
+			return r.v, r.err
+		default:
+			return nil, api.Unavailablef("live run ended")
+		}
+	}
+}
+
+// Status implements api.Service.
+func (c *LiveController) Status(ctx context.Context) (*api.ClusterStatus, error) {
+	v, err := c.submit(ctx, func(w *liveWorld) (any, error) {
+		var st *api.ClusterStatus
+		w.do(func() { st = w.buildStatus() })
+		return st, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*api.ClusterStatus), nil
+}
+
+// RegisterDeployment implements api.Service.
+func (c *LiveController) RegisterDeployment(ctx context.Context, spec api.DeploymentSpec) (*api.DeploymentStatus, error) {
+	v, err := c.submit(ctx, func(w *liveWorld) (any, error) { return w.registerDeployment(spec) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*api.DeploymentStatus), nil
+}
+
+// DrainDeployment implements api.Service.
+func (c *LiveController) DrainDeployment(ctx context.Context, name string) error {
+	_, err := c.submit(ctx, func(w *liveWorld) (any, error) { return nil, w.drainDeployment(name) })
+	return err
+}
+
+// SetProfile implements api.Service.
+func (c *LiveController) SetProfile(ctx context.Context, spec api.ProfileSpec) error {
+	_, err := c.submit(ctx, func(w *liveWorld) (any, error) { return nil, w.setProfile(spec) })
+	return err
+}
+
+// SetBudget implements api.Service.
+func (c *LiveController) SetBudget(ctx context.Context, spec api.BudgetSpec) error {
+	_, err := c.submit(ctx, func(w *liveWorld) (any, error) { return nil, w.setBudget(spec) })
+	return err
+}
+
+// AssignBudgets implements api.Service.
+func (c *LiveController) AssignBudgets(ctx context.Context, spec api.AssignSpec) (*api.AssignStatus, error) {
+	v, err := c.submit(ctx, func(w *liveWorld) (any, error) { return w.assignBudgets(spec) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*api.AssignStatus), nil
+}
+
+// SetSeverity implements api.Service.
+func (c *LiveController) SetSeverity(ctx context.Context, spec api.SeveritySpec) error {
+	_, err := c.submit(ctx, func(w *liveWorld) (any, error) { return nil, w.setSeverity(spec) })
+	return err
+}
+
+// StartOverclock implements api.Service.
+func (c *LiveController) StartOverclock(ctx context.Context, spec api.OCSpec) (*api.OCStatus, error) {
+	v, err := c.submit(ctx, func(w *liveWorld) (any, error) { return w.startOverclock(spec) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*api.OCStatus), nil
+}
+
+// StopOverclock implements api.Service.
+func (c *LiveController) StopOverclock(ctx context.Context, spec api.StopSpec) error {
+	_, err := c.submit(ctx, func(w *liveWorld) (any, error) { return nil, w.stopOverclock(spec) })
+	return err
+}
+
+// SetChaos implements api.Service.
+func (c *LiveController) SetChaos(ctx context.Context, spec api.ChaosSpec) (*api.ChaosStatus, error) {
+	v, err := c.submit(ctx, func(w *liveWorld) (any, error) { return w.setChaos(spec) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*api.ChaosStatus), nil
+}
+
+// ForceCheckpoint implements api.Service.
+func (c *LiveController) ForceCheckpoint(ctx context.Context) (*api.CheckpointStatus, error) {
+	v, err := c.submit(ctx, func(w *liveWorld) (any, error) { return w.checkpointNow() })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*api.CheckpointStatus), nil
+}
+
+// Advance implements api.Service.
+func (c *LiveController) Advance(ctx context.Context, spec api.AdvanceSpec) (*api.AdvanceStatus, error) {
+	v, err := c.submit(ctx, func(w *liveWorld) (any, error) { return w.advance(spec) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*api.AdvanceStatus), nil
+}
+
+// Shutdown implements api.Service.
+func (c *LiveController) Shutdown(ctx context.Context) error {
+	_, err := c.submit(ctx, func(w *liveWorld) (any, error) {
+		w.shutdown = true
+		return nil, nil
+	})
+	return err
+}

@@ -8,6 +8,7 @@ import (
 	"smartoclock/internal/agent"
 	"smartoclock/internal/cluster"
 	"smartoclock/internal/core"
+	"smartoclock/internal/invariant"
 	"smartoclock/internal/lifetime"
 	"smartoclock/internal/machine"
 	"smartoclock/internal/metrics"
@@ -31,7 +32,8 @@ type LiveSink interface {
 // rack notifications) crosses real loopback TCP links, paced in wall-clock
 // time and published to a sink after every tick. Unlike the deterministic
 // experiments this mode exists to be watched while it runs — scraped by
-// Prometheus, tailed over HTTP, profiled with pprof.
+// Prometheus, tailed over HTTP, profiled with pprof — and, with a Control
+// attached, mutated over the control-plane API.
 type LiveConfig struct {
 	Seed     int64
 	Start    time.Time
@@ -55,6 +57,14 @@ type LiveConfig struct {
 	// before the first tick: profiles, budgets, sessions and wear continue
 	// where the checkpointed process left off.
 	RestorePath string
+
+	// Control, when set, attaches the api.Service command inbox: every
+	// control-plane mutation is applied by the run goroutine between ticks.
+	Control *LiveController
+	// Hold suspends the clock: the run only ticks when an Advance command
+	// says so, which makes mutate-then-advance sequences deterministic.
+	// Requires Control.
+	Hold bool
 }
 
 // DefaultLiveConfig paces one 5-second control tick per 200 ms of wall
@@ -78,6 +88,8 @@ func (c LiveConfig) Validate() error {
 		return fmt.Errorf("experiment: bad live tick/duration %v/%v", c.Tick, c.Duration)
 	case c.Servers <= 0:
 		return fmt.Errorf("experiment: live mode needs servers, got %d", c.Servers)
+	case c.Hold && c.Control == nil:
+		return fmt.Errorf("experiment: hold mode needs a LiveController to advance it")
 	}
 	return nil
 }
@@ -89,6 +101,9 @@ type LiveResult struct {
 	Granted   int
 	CapEvents int
 	Warnings  int
+	// Violations counts invariant-battery violations observed across the
+	// run; zero is the only healthy value.
+	Violations int
 	// Checkpoints counts successful checkpoint writes; Restored reports
 	// whether the run warm-started from RestorePath.
 	Checkpoints int
@@ -106,6 +121,7 @@ func (r *LiveResult) Format() string {
 	tbl.AddRow("ticks", r.Ticks)
 	tbl.AddRow("oc requests (granted)", fmt.Sprintf("%d (%d)", r.Requests, r.Granted))
 	tbl.AddRow("rack warnings / cap events", fmt.Sprintf("%d / %d", r.Warnings, r.CapEvents))
+	tbl.AddRow("invariant violations", r.Violations)
 	if r.Checkpoints > 0 || r.Restored {
 		tbl.AddRow("checkpoints (warm-started)", fmt.Sprintf("%d (%v)", r.Checkpoints, r.Restored))
 	}
@@ -123,9 +139,14 @@ func (r *LiveResult) Format() string {
 //
 // Concurrency: simulation state is mutated only by this goroutine. TCP
 // read loops never touch it — inbound messages land in channel inboxes
-// drained at the top of each tick — and all metric updates from both
-// sides go through the shared metrics.Locked, which is also what the HTTP
-// scraper snapshots.
+// drained at the top of each tick — and control-plane API mutations enter
+// the same way, as commands on cfg.Control's inbox applied between ticks.
+// All metric updates from both sides go through the shared metrics.Locked,
+// which is also what the HTTP scraper snapshots.
+//
+// An invariant battery (rack power within limit, gOA budget conservation,
+// sessions within grant, core lifetime budgets, admission audits) checks
+// the world every tick; LiveResult.Violations reports the total.
 func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -133,6 +154,7 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 	lk := metrics.NewLocked()
 	tracer := newShardTracer(cfg.TraceOnly)
 	maxOC := cfg.HW.MaxOCMHz
+	checker := invariant.NewChecker()
 
 	// --- Two nodes on loopback: the gOA's and the servers' ----------------
 	goaNode, err := agent.NewTCPNode("goa-node", "127.0.0.1:0")
@@ -149,12 +171,6 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 	soaNode.Instrument(lk, metrics.L("node", "soa"))
 
 	// --- Servers, workload, rack, gOA --------------------------------------
-	type liveServer struct {
-		srv     *cluster.Server
-		agentID string
-		soa     *core.SOA
-		rng     *rand.Rand
-	}
 	servers := make([]*liveServer, cfg.Servers)
 	bcfg := lifetime.BudgetConfig{Epoch: time.Hour, Fraction: 0.25, CarryOver: true, MaxCarryOver: 1}
 	for i := range servers {
@@ -169,19 +185,46 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 	for i := range vmCores {
 		vmCores[i] = i
 	}
+
+	res := &LiveResult{}
+	w := &liveWorld{
+		cfg:         cfg,
+		lk:          lk,
+		now:         cfg.Start.Add(cfg.Tick),
+		end:         cfg.Start.Add(cfg.Duration),
+		servers:     servers,
+		byName:      make(map[string]*liveServer, len(servers)),
+		vmCores:     vmCores,
+		deployments: make(map[string]*liveDeployment),
+		coreOwner:   make(map[string]map[int]string, len(servers)),
+		chaosDown:   make(map[string]bool),
+		res:         res,
+		checker:     checker,
+	}
+	for _, ls := range servers {
+		w.byName[ls.srv.Name()] = ls
+		w.coreOwner[ls.srv.Name()] = make(map[int]string)
+	}
+
 	demandPeriod := 20 * time.Minute
 	demandAt := func(i int, now time.Time) bool {
 		phase := time.Duration(i) * demandPeriod / time.Duration(cfg.Servers)
 		into := (now.Sub(cfg.Start) + phase) % demandPeriod
 		return into < 9*time.Minute
 	}
+	// setUtil drives the background pattern; cores owned by an API-registered
+	// deployment keep the utilization the deployment pinned.
 	setUtil := func(ls *liveServer, i int, now time.Time) {
+		owners := w.coreOwner[ls.srv.Name()]
 		base := 0.35 + 0.05*ls.rng.Float64()
 		hot := base
 		if demandAt(i, now) {
 			hot = 0.80 + 0.10*ls.rng.Float64()
 		}
 		for c := 0; c < ls.srv.NumCores(); c++ {
+			if owners[c] != "" {
+				continue
+			}
 			if c < len(vmCores) {
 				ls.srv.SetCoreUtil(c, hot)
 			} else {
@@ -202,34 +245,35 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 	rack := power.NewRack(power.DefaultRackConfig("rack-live", limit), members...)
 	goa := core.NewGOA("rack-live", limit)
 	evenShare := limit / float64(cfg.Servers)
+	w.rack, w.goa = rack, goa
 
 	soaCfg := core.DefaultSOAConfig()
 	soaCfg.ProfileStep = time.Minute
 	soaCfg.ExploreConfirm = 30 * time.Second
 	soaCfg.ExploitTime = 5 * time.Minute
 	soaCfg.DefaultOCHorizon = 5 * time.Minute
+	soaCfg.OnAdmit = invariant.AdmissionWithinBudget(checker, "rack-live", 1e-6)
 
 	// Instrumentation resolves handles into the shared registry under the
 	// lock; the simulation later updates them under the same lock.
-	var ckptWrites, ckptErrors *metrics.Counter
-	var ckptBytes *metrics.Gauge
 	lk.Do(func(reg *metrics.Registry) {
 		rack.Instrument(reg, tracer)
 		goa.Instrument(reg, tracer)
+		checker.Instrument(reg, tracer)
 		for _, ls := range servers {
 			ls.srv.Instrument(reg)
 			ls.soa = core.NewSOA(soaCfg, ls.srv, lifetime.NewCoreBudgets(bcfg, ls.srv.NumCores(), cfg.Start), evenShare, cfg.Start)
 			ls.soa.Instrument(reg, tracer)
 		}
-		ckptWrites = reg.Counter("checkpoint_writes_total")
-		ckptErrors = reg.Counter("checkpoint_errors_total")
-		ckptBytes = reg.Gauge("checkpoint_bytes")
+		w.ckptWrites = reg.Counter("checkpoint_writes_total")
+		w.ckptErrors = reg.Counter("checkpoint_errors_total")
+		w.ckptBytes = reg.Gauge("checkpoint_bytes")
 	})
 
 	// --- Durable state: warm start and periodic checkpoints ----------------
-	res := &LiveResult{}
 	stateInfo := store.StateInfo{CheckpointPath: cfg.CheckpointPath}
-	buildCheckpoint := func() *store.Checkpoint {
+	w.stateInfo = &stateInfo
+	w.buildCheckpoint = func() *store.Checkpoint {
 		cp := &store.Checkpoint{
 			GOA:     goa.Snapshot(),
 			SOAs:    make(map[string]*core.SOAState, len(servers)),
@@ -274,14 +318,37 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 	// Sinks that understand durable-state status (the telemetry server's
 	// /statez) get it pushed alongside snapshots.
 	statePub, _ := sink.(interface{ PublishState(store.StateInfo) })
+	w.statePub = statePub
 	if statePub != nil {
 		statePub.PublishState(stateInfo)
 	}
 
+	// Register the invariant battery after the (possible) restore so the
+	// lifetime accounting samples the restored frequencies, not cold ones.
+	grace := 15 * time.Second
+	if g := 3 * cfg.Tick; g > grace {
+		grace = g
+	}
+	invariant.RackPowerWithinLimit(checker, rack, grace)
+	invariant.BudgetConservation(checker, goa, 1e-3)
+	for _, ls := range servers {
+		ls := ls
+		invariant.SessionsWithinGrant(checker, "rack-live", ls.srv, func() *core.SOA { return ls.soa })
+		if cfg.RestorePath == "" {
+			// The independent lifetime accounting assumes it watched the run
+			// from its start; a warm restore carries spend it never saw.
+			invariant.CoreBudgetsNeverOverdrawn(checker, "rack-live", ls.srv, bcfg, cfg.Start, 12*cfg.Tick)
+		}
+	}
+
 	// --- Inboxes: TCP read loops hand off, the main loop applies ----------
+	// The received counter ticks on every delivered message (even ones a
+	// full inbox sheds): hold mode barriers on received == sent so a tick's
+	// sends are all visible to the next tick's drain.
 	goaInbox := make(chan agent.Message, 256)
 	soaInbox := make(chan agent.Message, 256)
 	goaNode.Register("goa", func(m agent.Message) {
+		w.received.Add(1)
 		select {
 		case goaInbox <- m:
 		default: // full inbox sheds load rather than blocking the link
@@ -289,6 +356,7 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 	})
 	for _, ls := range servers {
 		soaNode.Register(ls.agentID, func(m agent.Message) {
+			w.received.Add(1)
 			select {
 			case soaInbox <- m:
 			default:
@@ -308,18 +376,33 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 	var pendingRack []power.Event
 	rack.Subscribe(func(ev power.Event) { pendingRack = append(pendingRack, ev) })
 
-	// --- Main loop ----------------------------------------------------------
-	end := cfg.Start.Add(cfg.Duration)
+	send := func(node *agent.TCPNode, msg agent.Message, from, to string) {
+		if !w.sendAllowed(from, to) {
+			return
+		}
+		if node.Send(msg) == nil {
+			w.sent.Add(1)
+		}
+	}
+
+	// --- One tick of the world ---------------------------------------------
 	published := 0 // events already handed to the sink
 	profileEvery, budgetEvery := 2*time.Minute, time.Minute
 	nextProfile, nextBudget := cfg.Start.Add(profileEvery), cfg.Start.Add(budgetEvery)
 	checkpointing := cfg.CheckpointPath != "" && cfg.CheckpointEvery > 0
 	nextCkpt := cfg.Start.Add(cfg.CheckpointEvery)
-	for now := cfg.Start.Add(cfg.Tick); !now.After(end); now = now.Add(cfg.Tick) {
+	w.doTick = func() {
+		now := w.now
 		res.Ticks++
 
-		// 1. Drain inboxes and apply under the lock.
+		// 1. Drain inboxes and apply under the lock. Chaos-downed agents
+		// drop at delivery too, catching messages already in flight when
+		// the fault flipped.
 		applyMsg := func(m agent.Message) {
+			if w.chaosDown[m.From] || w.chaosDown[m.To] {
+				w.dropped++
+				return
+			}
 			switch m.Type {
 			case "goa.budget":
 				ls := byAgent[m.To]
@@ -388,15 +471,17 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 				ls.srv.Advance(cfg.Tick)
 			}
 			rack.Tick(now)
+			checker.Check(now)
 		})
 
 		// 3. Control-plane traffic over TCP, outside the lock (the
-		// transport instrumentation takes it per message).
+		// transport instrumentation takes it per message). Chaos gates
+		// drop sends from or to downed agents.
 		for _, ev := range pendingRack {
 			payload := rackEventMsg{Kind: int(ev.Kind), Power: ev.Power, Limit: ev.Limit}
 			for _, ls := range servers {
 				if msg, err := agent.NewMessage("rack.event", "rack", ls.agentID, payload); err == nil {
-					_ = goaNode.Send(msg)
+					send(goaNode, msg, "rack", ls.agentID)
 				}
 			}
 		}
@@ -423,7 +508,7 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 					}
 				})
 				if msg, err := agent.NewMessage("soa.profile", ls.agentID, "goa", payload); err == nil {
-					_ = soaNode.Send(msg)
+					send(soaNode, msg, ls.agentID, "goa")
 				}
 			}
 		}
@@ -444,7 +529,7 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 					continue
 				}
 				if msg, err := agent.NewMessage("goa.budget", "goa", ls.agentID, budgetMsg{Watts: b}); err == nil {
-					_ = goaNode.Send(msg)
+					send(goaNode, msg, "goa", ls.agentID)
 				}
 			}
 		}
@@ -455,17 +540,17 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 		if checkpointing && !now.Before(nextCkpt) {
 			nextCkpt = nextCkpt.Add(cfg.CheckpointEvery)
 			var cp *store.Checkpoint
-			lk.Do(func(*metrics.Registry) { cp = buildCheckpoint() })
+			lk.Do(func(*metrics.Registry) { cp = w.buildCheckpoint() })
 			data, err := store.Encode(now, cp)
 			if err == nil {
 				err = store.SaveEncoded(cfg.CheckpointPath, data)
 			}
 			lk.Do(func(*metrics.Registry) {
 				if err != nil {
-					ckptErrors.Inc()
+					w.ckptErrors.Inc()
 				} else {
-					ckptWrites.Inc()
-					ckptBytes.Set(float64(len(data)))
+					w.ckptWrites.Inc()
+					w.ckptBytes.Set(float64(len(data)))
 				}
 			})
 			if err == nil {
@@ -479,7 +564,7 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 			}
 		}
 
-		// 5. Publish to the sink and pace.
+		// 5. Publish to the sink.
 		if sink != nil {
 			sink.PublishSnapshot(lk.Snapshot())
 			if evs := tracer.Events(); len(evs) > published {
@@ -487,13 +572,65 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 				published = len(evs)
 			}
 		}
-		if cfg.Pace > 0 {
-			time.Sleep(cfg.Pace)
+		w.now = now.Add(cfg.Tick)
+
+		// 6. In hold mode, barrier on loopback delivery: the next tick must
+		// drain exactly what this tick sent, whenever it runs. TCP per-peer
+		// connections deliver in order, so equality means all arrived.
+		if cfg.Hold {
+			deadline := time.Now().Add(5 * time.Second)
+			for w.received.Load() < w.sent.Load() && time.Now().Before(deadline) {
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}
+
+	// --- Main loop ----------------------------------------------------------
+	ctrl := cfg.Control
+	if ctrl != nil {
+		defer ctrl.finish()
+	}
+	if cfg.Hold {
+		// The clock is suspended: block on the command inbox and let
+		// Advance commands run ticks synchronously.
+		for !w.shutdown && !w.now.After(w.end) {
+			select {
+			case cmd := <-ctrl.cmds:
+				ctrl.exec(w, cmd)
+			case <-ctrl.done:
+				w.shutdown = true
+			}
+		}
+	} else {
+		for !w.shutdown && !w.now.After(w.end) {
+			if ctrl != nil {
+				ctrl.drain(w)
+			}
+			w.doTick()
+			if cfg.Pace <= 0 {
+				continue
+			}
+			if ctrl == nil {
+				time.Sleep(cfg.Pace)
+				continue
+			}
+			// Serve commands while pacing so API callers are not stuck
+			// behind the wall-clock sleep.
+			timer := time.NewTimer(cfg.Pace)
+			for pacing := true; pacing; {
+				select {
+				case cmd := <-ctrl.cmds:
+					ctrl.exec(w, cmd)
+				case <-timer.C:
+					pacing = false
+				}
+			}
 		}
 	}
 
 	res.CapEvents = rack.CapEvents()
 	res.Warnings = rack.Warnings()
+	res.Violations = checker.Total()
 	res.Metrics = lk.Snapshot()
 	res.Trace = tracer
 	return res, nil

@@ -12,6 +12,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -91,10 +92,11 @@ func (r *Ring) Tail(n int) []obs.Event {
 
 // Server owns the published telemetry state and the HTTP listener.
 type Server struct {
-	mu    sync.Mutex
-	snap  *metrics.Snapshot
-	ring  *Ring
-	state store.StateInfo
+	mu     sync.Mutex
+	snap   *metrics.Snapshot
+	ring   *Ring
+	state  store.StateInfo
+	mounts map[string]http.Handler
 
 	srv *http.Server
 	ln  net.Listener
@@ -133,6 +135,19 @@ func (s *Server) PublishEvents(events []obs.Event) {
 	s.mu.Unlock()
 }
 
+// Mount attaches an extra handler subtree under pattern (e.g. "/api/v1/"),
+// so sibling planes — the mutating control-plane API, say — share the
+// telemetry listener. Mount before Start; later calls are ignored by
+// already-built muxes.
+func (s *Server) Mount(pattern string, h http.Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mounts == nil {
+		s.mounts = make(map[string]http.Handler)
+	}
+	s.mounts[pattern] = h
+}
+
 // Handler returns the server's HTTP mux:
 //
 //	/metrics           Prometheus text exposition of the latest snapshot
@@ -154,6 +169,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mu.Lock()
+	for pattern, h := range s.mounts {
+		mux.Handle(pattern, h)
+	}
+	s.mu.Unlock()
 	return mux
 }
 
@@ -178,12 +198,20 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(info)
 }
 
+// MaxTailRequest bounds /trace/tail?n=. Requests beyond it are rejected
+// with 400 rather than silently clamped: a caller asking for a billion
+// events has a bug, and handing back whatever the ring holds would hide it.
+const MaxTailRequest = 65536
+
 func (s *Server) handleTail(w http.ResponseWriter, r *http.Request) {
 	n := 100
 	if q := r.URL.Query().Get("n"); q != "" {
+		// Atoi rejects overflowing values outright, so n > MaxTailRequest
+		// is the only way an absurd request could previously sneak through.
 		v, err := strconv.Atoi(q)
-		if err != nil || v <= 0 {
-			http.Error(w, "telemetry: n must be a positive integer", http.StatusBadRequest)
+		if err != nil || v <= 0 || v > MaxTailRequest {
+			http.Error(w, fmt.Sprintf("telemetry: n must be an integer in [1,%d]", MaxTailRequest),
+				http.StatusBadRequest)
 			return
 		}
 		n = v
@@ -215,4 +243,15 @@ func (s *Server) Close() error {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+// Drain stops accepting connections and waits for in-flight requests to
+// finish, up to ctx. With a control plane mounted, the response to the
+// command that ended the run (e.g. shutdown) must reach the client before
+// the process exits — Close would cut it off mid-write.
+func (s *Server) Drain(ctx context.Context) error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
 }

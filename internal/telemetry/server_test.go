@@ -191,6 +191,63 @@ func TestTraceTail(t *testing.T) {
 	}
 }
 
+// TestTraceTailEdges covers the request-bound edge cases: n beyond
+// MaxTailRequest and values that overflow int must be rejected with 400,
+// never silently clamped, while the boundary value itself is accepted.
+func TestTraceTailEdges(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.PublishEvents([]obs.Event{{Component: obs.Rack, Kind: "cap"}})
+
+	reject := []string{
+		fmt.Sprint(MaxTailRequest + 1), // just past the cap
+		"1000000000",                   // absurd but parseable
+		"9223372036854775807",          // max int64
+		"92233720368547758080",         // overflows int64 (Atoi errors)
+		"18446744073709551616",         // overflows uint64 too
+		"0",
+		"-9223372036854775808",
+		"+1e9", // float syntax is not an integer
+	}
+	for _, n := range reject {
+		code, body := get(t, ts.URL+"/trace/tail?n="+n)
+		if code != http.StatusBadRequest {
+			t.Errorf("n=%s status = %d, want 400", n, code)
+		}
+		if !strings.Contains(body, fmt.Sprint(MaxTailRequest)) {
+			t.Errorf("n=%s error %q does not state the bound", n, body)
+		}
+	}
+
+	// The documented maximum is itself valid and clamps to what the ring
+	// holds.
+	code, body := get(t, ts.URL+fmt.Sprintf("/trace/tail?n=%d", MaxTailRequest))
+	if code != http.StatusOK {
+		t.Fatalf("n=max status = %d, want 200", code)
+	}
+	if lines := strings.Split(strings.TrimSpace(body), "\n"); len(lines) != 1 {
+		t.Fatalf("n=max returned %d events, ring holds 1", len(lines))
+	}
+}
+
+// TestMount verifies extra planes share the telemetry listener and do not
+// shadow the built-in endpoints.
+func TestMount(t *testing.T) {
+	s := NewServer(4)
+	s.Mount("/api/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		fmt.Fprint(w, "mounted")
+	}))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	if code, body := get(t, ts.URL+"/api/v1/anything"); code != http.StatusTeapot || body != "mounted" {
+		t.Fatalf("mounted subtree = %d %q", code, body)
+	}
+	if code, body := get(t, ts.URL+"/healthz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz after mount = %d %q", code, body)
+	}
+}
+
 func TestPprofIndex(t *testing.T) {
 	_, ts := newTestServer(t)
 	code, body := get(t, ts.URL+"/debug/pprof/")
