@@ -20,6 +20,7 @@ import (
 	"sort"
 	"time"
 
+	"smartoclock/internal/causal"
 	"smartoclock/internal/experiment"
 )
 
@@ -45,6 +46,9 @@ type benchReport struct {
 	Seed          int64        `json:"seed"`
 	Deterministic bool         `json:"deterministic_across_workers"`
 	Points        []benchPoint `json:"points"`
+	// CriticalPath profiles the causal decision log of one observed run:
+	// longest chain, decisions/messages, records per tick.
+	CriticalPath *causal.Stats `json:"critical_path,omitempty"`
 }
 
 func main() {
@@ -127,6 +131,19 @@ func main() {
 		rep.Points = append(rep.Points, pt)
 		fmt.Fprintf(os.Stderr, "socbench: workers=%-3d wall=%.2fs racks/sec=%.1f allocs=%d speedup=%.2fx\n",
 			w, pt.WallSeconds, pt.RacksPerSec, pt.Allocs, pt.Speedup)
+	}
+
+	// One extra observed run (at the widest worker count) profiles the causal
+	// decision log: chain depth, decision/message counts, records per tick.
+	// Kept out of the timed loop so tracing cost never skews the points.
+	cfg.Workers = workerCounts[len(workerCounts)-1]
+	if _, _, observation, err := experiment.RunTable1Observed(cfg); err != nil {
+		log.Printf("WARNING: observed profiling run failed: %v", err)
+	} else if observation != nil {
+		stats := observation.CriticalPath
+		rep.CriticalPath = &stats
+		fmt.Fprintf(os.Stderr, "socbench: critical path: %d decisions, %d messages, max chain depth %d\n",
+			stats.Decisions, stats.Messages, stats.MaxDepth)
 	}
 
 	if !rep.Deterministic {

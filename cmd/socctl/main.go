@@ -21,6 +21,7 @@
 //	checkpoint                               force a durable checkpoint now
 //	advance  [-ticks N]                      run N ticks (hold mode only)
 //	shutdown                                 end the live run gracefully
+//	explain  [-span] ID                      causal chain behind a decision span
 //
 // The address and token fall back to $SOC_API_ADDR and $SOC_API_TOKEN.
 // -json prints the raw response body instead of the human rendering.
@@ -36,11 +37,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/url"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"smartoclock/internal/api"
+	"smartoclock/internal/causal"
+	"smartoclock/internal/telemetry"
 )
 
 const (
@@ -294,8 +301,60 @@ func main() {
 		}
 		ack(*asJSON, "shutdown requested\n")
 
+	case "explain":
+		fs := flag.NewFlagSet("explain", flag.ExitOnError)
+		span := fs.String("span", "", "span ID (16-digit hex) to explain")
+		_ = fs.Parse(args)
+		target := *span
+		if target == "" && fs.NArg() == 1 {
+			target = fs.Arg(0)
+		}
+		if target == "" {
+			usage(fs, "explain needs a span ID")
+		}
+		explain(*addr, target, *timeout, *asJSON)
+
 	default:
 		usage(root, fmt.Sprintf("unknown command %q", cmd))
+	}
+}
+
+// explain asks the telemetry plane (same listener as /api/v1, unauthenticated
+// read path) why a span's decision happened and renders the causal chain.
+func explain(addr, span string, timeout time.Duration, asJSON bool) {
+	base := strings.TrimRight(addr, "/")
+	hc := &http.Client{Timeout: timeout}
+	resp, err := hc.Get(base + "/explain?span=" + url.QueryEscape(span))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "socctl: %v\n", err)
+		os.Exit(exitFailure)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "socctl: %v\n", err)
+		os.Exit(exitFailure)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "socctl: %s\n", strings.TrimSpace(string(body)))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			os.Exit(exitRejected)
+		}
+		os.Exit(exitFailure)
+	}
+	var ex telemetry.Explanation
+	if err := json.Unmarshal(body, &ex); err != nil {
+		fmt.Fprintf(os.Stderr, "socctl: bad /explain response: %v\n", err)
+		os.Exit(exitFailure)
+	}
+	if asJSON {
+		printJSON(&ex)
+		return
+	}
+	fmt.Printf("span %s: %s/%s %s\n", ex.Span, ex.Record.Component, ex.Record.Site, ex.Record.Verdict)
+	_ = causal.WriteChain(os.Stdout, ex.Chain)
+	for i := range ex.Children {
+		fmt.Printf("  -> %s\n", causal.FormatRecord(&ex.Children[i]))
 	}
 }
 

@@ -1,0 +1,238 @@
+// Command socexplain answers "why did the control plane do that": given a
+// span ID it prints the decision record, its full causal ancestry
+// (root-first: the workload-interface request, the budget broadcast, the
+// admission verdict...) and its direct consequences.
+//
+// It reads either a provenance log written offline (socsim -prov-out) or a
+// live soccluster -serve telemetry endpoint's /explain:
+//
+//	socexplain -log PROV.jsonl [-json] <span>
+//	socexplain [-addr http://127.0.0.1:9188] [-json] <span>
+//	socexplain [-log PROV.jsonl | -addr URL] -recent N
+//
+// -recent lists the N newest provenance records instead — the discovery
+// path when no span is at hand yet.
+//
+// The span ID is the 16-digit hex printed by trace events, provenance
+// records and the zoo/report summaries. The address falls back to
+// $SOC_API_ADDR (the telemetry listener is shared with the /api plane).
+//
+// Exit codes: 0 success, 1 usage error, 2 span not found, 3 read or
+// transport failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"smartoclock/internal/causal"
+	"smartoclock/internal/telemetry"
+)
+
+const (
+	exitOK = iota
+	exitUsage
+	exitNotFound
+	exitFailure
+)
+
+func fatalf(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "socexplain: "+format+"\n", args...)
+	os.Exit(code)
+}
+
+func main() {
+	logPath := flag.String("log", "", "read this provenance log (JSON Lines, from socsim -prov-out) instead of querying a server")
+	addr := flag.String("addr", envOr("SOC_API_ADDR", "http://127.0.0.1:9188"), "telemetry base URL ($SOC_API_ADDR)")
+	asJSON := flag.Bool("json", false, "print the explanation as JSON")
+	recent := flag.Int("recent", 0, "instead of explaining a span, list the N newest provenance records (span discovery)")
+	timeout := flag.Duration("timeout", 10*time.Second, "request timeout")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: socexplain [-log PROV.jsonl | -addr URL] [-json] <span>\n       socexplain [-log PROV.jsonl | -addr URL] [-json] -recent N")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *recent > 0 {
+		if flag.NArg() != 0 {
+			flag.Usage()
+			os.Exit(exitUsage)
+		}
+		listRecent(*logPath, *addr, *recent, *timeout, *asJSON)
+		return
+	}
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(exitUsage)
+	}
+
+	var ex *telemetry.Explanation
+	if *logPath != "" {
+		ex = explainOffline(*logPath, flag.Arg(0))
+	} else {
+		ex = explainRemote(*addr, flag.Arg(0), *timeout)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.SetEscapeHTML(false)
+		if err := enc.Encode(ex); err != nil {
+			fatalf(exitFailure, "%v", err)
+		}
+		return
+	}
+	render(os.Stdout, ex)
+}
+
+// listRecent prints the N newest provenance records — the span-discovery
+// path: pick a span from here, then explain it.
+func listRecent(logPath, addr string, n int, timeout time.Duration, asJSON bool) {
+	var rr telemetry.RecentRecords
+	if logPath != "" {
+		f, err := os.Open(logPath)
+		if err != nil {
+			fatalf(exitFailure, "%v", err)
+		}
+		defer f.Close()
+		log, err := causal.ReadLog(f)
+		if err != nil {
+			fatalf(exitFailure, "%s: %v", logPath, err)
+		}
+		recs := log.Records
+		if len(recs) > n {
+			recs = recs[len(recs)-n:]
+		}
+		rr = telemetry.RecentRecords{Records: recs, Held: log.Len(), Total: log.Len()}
+	} else {
+		base := addr
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		u := strings.TrimRight(base, "/") + "/explain?recent=" + strconv.Itoa(n)
+		client := &http.Client{Timeout: timeout}
+		resp, err := client.Get(u)
+		if err != nil {
+			fatalf(exitFailure, "%v", err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			fatalf(exitFailure, "%v", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			fatalf(exitFailure, "%s: %s", resp.Status, strings.TrimSpace(string(body)))
+		}
+		if err := json.Unmarshal(body, &rr); err != nil {
+			fatalf(exitFailure, "bad /explain response: %v", err)
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.SetEscapeHTML(false)
+		if err := enc.Encode(&rr); err != nil {
+			fatalf(exitFailure, "%v", err)
+		}
+		return
+	}
+	for i := range rr.Records {
+		fmt.Println(causal.FormatRecord(&rr.Records[i]))
+	}
+	fmt.Fprintf(os.Stderr, "socexplain: %d of %d held records (%d ever recorded)\n",
+		len(rr.Records), rr.Held, rr.Total)
+}
+
+// explainOffline answers from a -prov-out JSONL file, producing the same
+// Explanation shape the live /explain endpoint returns.
+func explainOffline(path, span string) *telemetry.Explanation {
+	id, err := causal.ParseSpan(span)
+	if err != nil {
+		fatalf(exitUsage, "%v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf(exitFailure, "%v", err)
+	}
+	defer f.Close()
+	log, err := causal.ReadLog(f)
+	if err != nil {
+		fatalf(exitFailure, "%s: %v", path, err)
+	}
+	rec := log.Find(id)
+	if rec == nil {
+		fatalf(exitNotFound, "span %s not in %s (%d records)", id, path, log.Len())
+	}
+	chain := log.Chain(id)
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return &telemetry.Explanation{
+		Span:     id.String(),
+		Record:   *rec,
+		Chain:    chain,
+		Children: log.Children(id),
+		Held:     log.Len(),
+		Total:    log.Len(),
+	}
+}
+
+// explainRemote queries a live telemetry server's /explain endpoint.
+func explainRemote(addr, span string, timeout time.Duration) *telemetry.Explanation {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	u := strings.TrimRight(base, "/") + "/explain?span=" + url.QueryEscape(span)
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(u)
+	if err != nil {
+		fatalf(exitFailure, "%v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatalf(exitFailure, "%v", err)
+	}
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		fatalf(exitNotFound, "%s", strings.TrimSpace(string(body)))
+	case resp.StatusCode != http.StatusOK:
+		fatalf(exitFailure, "%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var ex telemetry.Explanation
+	if err := json.Unmarshal(body, &ex); err != nil {
+		fatalf(exitFailure, "bad /explain response: %v", err)
+	}
+	return &ex
+}
+
+func render(w io.Writer, ex *telemetry.Explanation) {
+	fmt.Fprintf(w, "span %s: %s/%s %s\n\n", ex.Span, ex.Record.Component, ex.Record.Site, ex.Record.Verdict)
+	fmt.Fprintf(w, "causal chain (root first):\n")
+	_ = causal.WriteChain(w, ex.Chain)
+	if len(ex.Children) > 0 {
+		fmt.Fprintf(w, "\nconsequences:\n")
+		for i := range ex.Children {
+			fmt.Fprintf(w, "  %s\n", causal.FormatRecord(&ex.Children[i]))
+		}
+	}
+	if ex.Held != ex.Total {
+		fmt.Fprintf(w, "\n(window holds %d of %d records; older ancestors may have aged out)\n", ex.Held, ex.Total)
+	}
+}
+
+func envOr(key, fallback string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return fallback
+}

@@ -23,8 +23,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"text/tabwriter"
 
+	"smartoclock/internal/causal"
 	"smartoclock/internal/metrics"
 )
 
@@ -49,6 +51,87 @@ func readSnapshot(path string) *metrics.Snapshot {
 	return snap
 }
 
+// criticalPathBlock summarizes the causal_* critical-path series held in a
+// snapshot as a comment block (every line starts with '#', so appending it
+// keeps the output valid Prometheus text exposition). Series are summed
+// across label sets — shards export one labeled series each, and counters
+// and histogram bucket counts add. Returns "" when the snapshot carries no
+// critical-path profile.
+func criticalPathBlock(snap *metrics.Snapshot) string {
+	var decisions, messages float64
+	type hist struct {
+		sum     float64
+		count   uint64
+		buckets []metrics.Bucket
+	}
+	merge := func(h *hist, s *metrics.Series) {
+		h.sum += s.Value
+		h.count += s.Count
+		if h.buckets == nil {
+			h.buckets = make([]metrics.Bucket, len(s.Buckets))
+			copy(h.buckets, s.Buckets)
+			return
+		}
+		for i := range s.Buckets {
+			if i < len(h.buckets) && h.buckets[i].LE == s.Buckets[i].LE {
+				h.buckets[i].Count += s.Buckets[i].Count
+			}
+		}
+	}
+	var depth, tick hist
+	seen := false
+	for i := range snap.Series {
+		s := &snap.Series[i]
+		switch s.Name {
+		case causal.MetricDecisions:
+			decisions += s.Value
+		case causal.MetricMessages:
+			messages += s.Value
+		case causal.MetricChainDepth:
+			merge(&depth, s)
+		case causal.MetricTickRecords:
+			merge(&tick, s)
+		default:
+			continue
+		}
+		seen = true
+	}
+	if !seen {
+		return ""
+	}
+
+	// ceiling reports the smallest bucket bound covering every observation,
+	// or "> LE_max" when some fell beyond the last bucket.
+	ceiling := func(h hist) string {
+		if h.count == 0 {
+			return "n/a"
+		}
+		for _, b := range h.buckets {
+			if b.Count >= h.count {
+				return fmt.Sprintf("<= %g", b.LE)
+			}
+		}
+		if n := len(h.buckets); n > 0 {
+			return fmt.Sprintf("> %g", h.buckets[n-1].LE)
+		}
+		return "n/a"
+	}
+	mean := func(h hist) float64 {
+		if h.count == 0 {
+			return 0
+		}
+		return h.sum / float64(h.count)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# critical path (causal provenance)\n")
+	fmt.Fprintf(&b, "#   decisions    %g\n", decisions)
+	fmt.Fprintf(&b, "#   messages     %g\n", messages)
+	fmt.Fprintf(&b, "#   chain depth  mean %.2f  max %s\n", mean(depth), ceiling(depth))
+	fmt.Fprintf(&b, "#   tick records mean %.2f  max %s\n", mean(tick), ceiling(tick))
+	return b.String()
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("socmetrics: ")
@@ -63,8 +146,12 @@ func main() {
 		if fs.NArg() != 1 {
 			usage()
 		}
-		if err := readSnapshot(fs.Arg(0)).WriteProm(os.Stdout); err != nil {
+		snap := readSnapshot(fs.Arg(0))
+		if err := snap.WriteProm(os.Stdout); err != nil {
 			log.Fatal(err)
+		}
+		if block := criticalPathBlock(snap); block != "" {
+			fmt.Print(block)
 		}
 
 	case "diff":

@@ -37,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"smartoclock/internal/causal"
 	"smartoclock/internal/experiment"
 	"smartoclock/internal/metrics"
 	"smartoclock/internal/obs"
@@ -101,6 +102,21 @@ func writeSeries(path string, rec *metrics.Recording) {
 	}
 }
 
+// writeProv writes a causal decision-provenance log to path as JSON Lines.
+func writeProv(path string, log_ *causal.Log) {
+	if path == "" || log_ == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := log_.WriteJSONL(f); err != nil {
+		log.Fatal(err)
+	}
+}
+
 // parseComponents parses a -trace-components value, exiting on bad input.
 func parseComponents(s string) []obs.Component {
 	comps, err := obs.ParseComponents(s)
@@ -137,8 +153,9 @@ func main() {
 	seriesOut := flag.String("series-out", "", "write the recorded time series of the Table I run (or -chaos run) here; .json selects JSON, anything else CSV")
 	recordEvery := flag.Duration("record-every", 0, "sampling interval (sim time) for -series-out; defaults to 1h for Table I and 30s for -chaos")
 	traceComponents := flag.String("trace-components", "", "comma-separated obs components to trace (e.g. soa,rack,alert); empty traces everything")
+	provOut := flag.String("prov-out", "", "write the causal decision-provenance log (-zoo matrix or Table I run) here as JSON Lines, explorable with socexplain")
 	flag.Parse()
-	observe := *metricsOut != "" || *traceOut != "" || *seriesOut != ""
+	observe := *metricsOut != "" || *traceOut != "" || *seriesOut != "" || *provOut != ""
 	comps := parseComponents(*traceComponents)
 
 	if *runChaos {
@@ -206,6 +223,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(res.Format())
+		writeProv(*provOut, res.ProvenanceLog())
 		if res.Err != nil {
 			for _, c := range res.Cells {
 				for i, v := range c.Violations {
@@ -323,6 +341,7 @@ func main() {
 			writeMetrics(*metricsOut, observation.Metrics)
 			writeTrace(*traceOut, observation.Trace)
 			writeSeries(*seriesOut, observation.Series)
+			writeProv(*provOut, observation.Provenance)
 		} else {
 			tbl, _, err := experiment.RunTable1(cfg)
 			if err != nil {

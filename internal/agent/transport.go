@@ -29,6 +29,12 @@ type Message struct {
 	To string `json:"to"`
 	// Payload carries the type-specific body as JSON.
 	Payload json.RawMessage `json:"payload,omitempty"`
+	// Span is the causal span ID of the send (internal/causal), threading
+	// provenance across agents: a handler that makes a decision because of
+	// this message records the decision with Parent = Span. Zero — the
+	// value whenever provenance is off — is omitted from the wire format,
+	// so frames are byte-identical to the pre-provenance protocol.
+	Span uint64 `json:"span,omitempty"`
 }
 
 // NewMessage builds a message with v encoded as the payload.

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"smartoclock/internal/causal"
 	"smartoclock/internal/metrics"
 	"smartoclock/internal/obs"
 )
@@ -162,6 +163,14 @@ func seriesByLabels(rec *metrics.Recording, name string) map[string]*metrics.Rec
 // event at its end on the alert component, with the rule as Source, the
 // series as Target, the peak as Value and the violated condition in Detail.
 func Eval(rec *metrics.Recording, rules []Rule, tracer *obs.Tracer) []Alert {
+	return EvalProv(rec, rules, tracer, nil)
+}
+
+// EvalProv is Eval with decision provenance: when prov is non-nil, every
+// episode emits a "fire" record and a "resolve" record (parented to the
+// fire) carrying the rule name as Policy, the peak value and the threshold
+// in force as inputs. A nil prov makes EvalProv identical to Eval.
+func EvalProv(rec *metrics.Recording, rules []Rule, tracer *obs.Tracer, prov *causal.Recorder) []Alert {
 	if rec == nil || rec.Intervals() == 0 {
 		return nil
 	}
@@ -172,7 +181,55 @@ func Eval(rec *metrics.Recording, rules []Rule, tracer *obs.Tracer) []Alert {
 	if tracer != nil {
 		emit(rec, out, tracer)
 	}
+	if prov.Enabled() {
+		provEmit(out, prov)
+	}
 	return out
+}
+
+// provEmit records fire/resolve decisions for episodes in the same
+// deterministic time order emit uses for trace events.
+func provEmit(alerts []Alert, prov *causal.Recorder) {
+	idx := make([]int, len(alerts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return alerts[idx[a]].From.Before(alerts[idx[b]].From)
+	})
+	for _, i := range idx {
+		a := &alerts[i]
+		fireSpan := prov.Emit(causal.Record{
+			Time:      a.From,
+			Kind:      causal.KindDecision,
+			Component: "alert",
+			Site:      "alert.fire",
+			Subject:   a.Series,
+			Policy:    a.Rule,
+			Verdict:   "fire",
+			Inputs: []causal.Input{
+				causal.In("peak", a.Peak),
+				causal.In("limit", a.Limit),
+				causal.In("intervals", float64(a.Intervals)),
+			},
+			Detail: string(a.Severity),
+		})
+		prov.Emit(causal.Record{
+			Time:      a.To,
+			Parent:    fireSpan,
+			Kind:      causal.KindDecision,
+			Component: "alert",
+			Site:      "alert.resolve",
+			Subject:   a.Series,
+			Policy:    a.Rule,
+			Verdict:   "resolve",
+			Inputs: []causal.Input{
+				causal.In("peak", a.Peak),
+				causal.In("limit", a.Limit),
+			},
+			Detail: string(a.Severity),
+		})
+	}
 }
 
 func evalRule(rec *metrics.Recording, r *Rule) []Alert {

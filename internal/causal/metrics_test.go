@@ -1,0 +1,59 @@
+package causal
+
+import (
+	"testing"
+
+	"smartoclock/internal/metrics"
+)
+
+func TestRegisterMetrics(t *testing.T) {
+	l := buildChainLog()
+	reg := metrics.NewRegistry()
+	l.Register(reg)
+	snap := reg.Snapshot()
+	if got := snap.SumByName(MetricDecisions); got != 3 {
+		t.Fatalf("%s = %v", MetricDecisions, got)
+	}
+	if got := snap.SumByName(MetricMessages); got != 1 {
+		t.Fatalf("%s = %v", MetricMessages, got)
+	}
+	depth := snap.Find(MetricChainDepth, nil)
+	if depth == nil || depth.Count != 4 {
+		t.Fatalf("chain depth series = %+v", depth)
+	}
+	// Depths are 1 (request), 2 (grant), 3 (stop), 1 (cap): sum 7.
+	if depth.Value != 7 {
+		t.Fatalf("chain depth sum = %v", depth.Value)
+	}
+	ticks := snap.Find(MetricTickRecords, nil)
+	if ticks == nil || ticks.Count != 2 || ticks.Value != 4 {
+		t.Fatalf("tick records series = %+v", ticks)
+	}
+}
+
+func TestRegisterMetricsMergesAcrossShards(t *testing.T) {
+	r1, r2 := metrics.NewRegistry(), metrics.NewRegistry()
+	buildChainLog().Register(r1)
+	buildChainLog().Register(r2)
+	merged := metrics.Merge(r1.Snapshot(), r2.Snapshot())
+	if got := merged.SumByName(MetricDecisions); got != 6 {
+		t.Fatalf("merged decisions = %v", got)
+	}
+	if depth := merged.Find(MetricChainDepth, nil); depth == nil || depth.Count != 8 {
+		t.Fatalf("merged depth = %+v", depth)
+	}
+}
+
+func TestRegisterNilAndEmpty(t *testing.T) {
+	var l *Log
+	l.Register(metrics.NewRegistry())
+	reg := metrics.NewRegistry()
+	(&Log{}).Register(reg)
+	snap := reg.Snapshot()
+	if got := snap.SumByName(MetricDecisions); got != 0 {
+		t.Fatalf("empty log decisions = %v", got)
+	}
+	if len(snap.Series) != 4 {
+		t.Fatalf("empty log registered %d series, want 4", len(snap.Series))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"smartoclock/internal/causal"
 	"smartoclock/internal/predict"
 	"smartoclock/internal/timeseries"
 )
@@ -32,6 +33,12 @@ type GOA struct {
 	// obs, when non-nil, holds resolved metric handles (see Instrument in
 	// obs.go).
 	obs *goaObs
+
+	// prov, when non-nil, receives budget-broadcast provenance records;
+	// lastProfileSpan is the most recent profile message that shaped them
+	// (see provenance.go).
+	prov            *causal.Recorder
+	lastProfileSpan causal.SpanID
 }
 
 // NewGOA creates a gOA for the named rack with the given power limit.

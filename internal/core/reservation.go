@@ -143,5 +143,5 @@ func (a *SOA) StartReserved(now time.Time, res *Reservation) Decision {
 		VM:       res.VM,
 		Cores:    len(res.Cores),
 		Priority: PriorityScheduled,
-	}, res.TargetMHz, res.Cores)
+	}, res.TargetMHz, res.Cores, nil)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"smartoclock/internal/causal"
 	"smartoclock/internal/lifetime"
 	"smartoclock/internal/policy"
 	"smartoclock/internal/power"
@@ -131,6 +132,9 @@ type Session struct {
 	StartedAt time.Time
 	// currentMHz is the frequency the feedback loop has the session at.
 	currentMHz int
+	// span is the causal span of the grant that started the session;
+	// consequences (an exhaustion stop) are recorded with it as parent.
+	span causal.SpanID
 }
 
 // CurrentMHz returns the session's present frequency setting.
@@ -199,6 +203,12 @@ type SOA struct {
 	// obs, when non-nil, holds pre-resolved metric handles and the event
 	// tracer (see Instrument in obs.go). Hot paths test the pointer once.
 	obs *soaObs
+
+	// prov, when non-nil, receives a causal.Record for every risk decision
+	// (see provenance.go); lastBudgetSpan is the record of the most recent
+	// budget application, linked from admission verdicts.
+	prov           *causal.Recorder
+	lastBudgetSpan causal.SpanID
 
 	// sessScratch backs sortedSessions: the ordering is recomputed inside
 	// every feedback tick, and reusing the slice keeps the per-tick hot
@@ -318,12 +328,14 @@ func (a *SOA) Request(now time.Time, req Request) Decision {
 	if err := req.Validate(); err != nil {
 		a.rejected++
 		a.obsReject(now, req.VM, RejectInvalid)
+		a.provReject(now, req, RejectInvalid, nil, "")
 		return Decision{Reason: RejectInvalid}
 	}
 	a.slotRequested += req.Cores
 	if _, exists := a.sessions[req.VM]; exists {
 		a.rejected++
 		a.obsReject(now, req.VM, RejectDuplicate)
+		a.provReject(now, req, RejectDuplicate, nil, "")
 		return Decision{Reason: RejectDuplicate}
 	}
 	target := req.TargetMHz
@@ -332,7 +344,7 @@ func (a *SOA) Request(now time.Time, req Request) Decision {
 	}
 
 	if a.cfg.Naive {
-		return a.start(now, req, target, nil)
+		return a.start(now, req, target, nil, nil)
 	}
 
 	// Lifetime admission: every overclocked core must have enough
@@ -364,6 +376,7 @@ func (a *SOA) Request(now time.Time, req Request) Decision {
 	if cores == nil {
 		a.rejected++
 		a.obsReject(now, req.VM, RejectLifetime)
+		a.provReject(now, req, RejectLifetime, nil, "")
 		a.notifyReject(req.VM, RejectLifetime)
 		return Decision{Reason: RejectLifetime}
 	}
@@ -371,10 +384,12 @@ func (a *SOA) Request(now time.Time, req Request) Decision {
 	// Power admission: predicted baseline plus all overclock deltas must
 	// fit the budget.
 	delta := a.host.OCDeltaWatts(req.Cores, target, a.cfg.AdmissionUtil)
+	var admitIn *policy.AdmitInput
 	if a.cfg.AdmitOverride != nil {
 		if !a.cfg.AdmitOverride(req, delta) {
 			a.rejected++
 			a.obsReject(now, req.VM, RejectPower)
+			a.provReject(now, req, RejectPower, nil, "override")
 			a.notifyReject(req.VM, RejectPower)
 			return Decision{Reason: RejectPower}
 		}
@@ -406,9 +421,11 @@ func (a *SOA) Request(now time.Time, req Request) Decision {
 			a.recentRejectAt = now
 			a.hasRecentReject = true
 			a.obsReject(now, req.VM, RejectPower)
+			a.provReject(now, req, RejectPower, &in, a.pol.Admission.Name())
 			a.notifyReject(req.VM, RejectPower)
 			return Decision{Reason: RejectPower}
 		}
+		admitIn = &in
 	}
 
 	// Scheduled requests reserve their overclock time budget up front for
@@ -425,17 +442,20 @@ func (a *SOA) Request(now time.Time, req Request) Decision {
 				}
 				a.rejected++
 				a.obsReject(now, req.VM, RejectLifetime)
+				a.provReject(now, req, RejectLifetime, nil, "")
 				a.notifyReject(req.VM, RejectLifetime)
 				return Decision{Reason: RejectLifetime}
 			}
 		}
 	}
-	return a.start(now, req, target, cores)
+	return a.start(now, req, target, cores, admitIn)
 }
 
 // start creates the session and applies the target frequency. cores may be
 // nil (naive mode), in which case the first req.Cores indices are used.
-func (a *SOA) start(now time.Time, req Request, target int, cores []int) Decision {
+// admitIn carries the power-admission arithmetic for the grant's
+// provenance record (nil on the naive and override paths).
+func (a *SOA) start(now time.Time, req Request, target int, cores []int, admitIn *policy.AdmitInput) Decision {
 	if cores == nil {
 		n := req.Cores
 		if n > a.host.NumCores() {
@@ -446,10 +466,15 @@ func (a *SOA) start(now time.Time, req Request, target int, cores []int) Decisio
 			cores[i] = i
 		}
 	}
+	pol := ""
+	if admitIn != nil {
+		pol = a.pol.Admission.Name()
+	}
 	s := &Session{
 		VM: req.VM, Cores: cores, TargetMHz: target,
 		Priority: req.Priority, Scheduled: req.Priority == PriorityScheduled,
 		StartedAt: now, currentMHz: target,
+		span: a.provGrant(now, req, target, len(cores), admitIn, pol),
 	}
 	a.sessions[req.VM] = s
 	for _, c := range cores {
@@ -494,6 +519,7 @@ func (a *SOA) OnRackEvent(now time.Time, ev power.Event) {
 		}
 		a.applySetback(now, false)
 		a.obsWarnBackoff(now)
+		a.provSetback(now, ev.Span, false)
 		// Shed immediately: the whole point of the warning is avoiding
 		// the capping event that would otherwise follow within seconds.
 		a.feedbackLoop(now)
@@ -503,6 +529,7 @@ func (a *SOA) OnRackEvent(now time.Time, ev power.Event) {
 		}
 		a.applySetback(now, true)
 		a.obsCapReset(now)
+		a.provSetback(now, ev.Span, true)
 		a.feedbackLoop(now)
 	}
 }
@@ -625,6 +652,7 @@ func (a *SOA) consumeOCTime(now time.Time, dt time.Duration) {
 		}
 		a.Stop(now, vm)
 		a.obsSessionExhausted(now, vm)
+		a.provSessionStop(now, vm, s.span)
 		a.notifyReject(vm, RejectLifetime)
 	}
 }
@@ -721,6 +749,7 @@ func (a *SOA) manageExploration(now time.Time) {
 		a.extraWatts += a.pol.Exploration.Step(now)
 		a.lastBumpAt = now
 		a.obsExploreBump(now)
+		a.provExplore(now, "bump")
 	case modeExploring:
 		if len(a.sessions) == 0 && !a.constrained() {
 			// Every session stopped mid-exploration and no demand is
@@ -738,12 +767,14 @@ func (a *SOA) manageExploration(now time.Time) {
 			a.exploitUntil = now.Add(a.cfg.ExploitTime)
 			a.pol.Exploration.Confirmed(now)
 			a.obsExploit(now)
+			a.provExplore(now, "exploit")
 			return
 		}
 		if now.Sub(a.lastBumpAt) >= a.cfg.ExploreConfirm {
 			a.extraWatts += a.pol.Exploration.Step(now)
 			a.lastBumpAt = now
 			a.obsExploreBump(now)
+			a.provExplore(now, "bump")
 		}
 	case modeExploiting:
 		if now.After(a.exploitUntil) {

@@ -59,6 +59,11 @@ type Request struct {
 	// own cores). When their overclock budget is insufficient the sOA
 	// falls back to rescheduling onto cores with headroom (§IV-D).
 	PreferredCores []int
+	// Span is the causal span of the WI-side request (internal/causal).
+	// The sOA's admission verdict is recorded with this as its parent,
+	// chaining the decision back to what asked for it. Zero (provenance
+	// off) leaves the verdict parentless.
+	Span uint64
 }
 
 // Validate reports whether the request is well formed.

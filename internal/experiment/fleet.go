@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"smartoclock/internal/baselines"
+	"smartoclock/internal/causal"
 	"smartoclock/internal/core"
 	"smartoclock/internal/lifetime"
 	"smartoclock/internal/metrics"
@@ -393,6 +394,12 @@ type FleetObservation struct {
 	Trace   *obs.Tracer
 	// Series holds the recorded time series; nil unless RecordEvery was set.
 	Series *metrics.Recording
+	// Provenance is the fleet-wide causal decision log, shard logs
+	// concatenated in shard-index order.
+	Provenance *causal.Log
+	// CriticalPath summarizes the provenance log: longest causal chain,
+	// decisions and messages per tick (the tick critical-path profile).
+	CriticalPath causal.Stats
 }
 
 // newShardTracer builds the tracer for one observed shard, honoring the
@@ -409,7 +416,7 @@ func newShardTracer(only []obs.Component) *obs.Tracer {
 // arguments — no shared state, no random draws — which is what makes the
 // rack the unit of parallel sharding.
 func rackRun(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConfig) rackMetrics {
-	m, _, _, _ := rackRunObserved(rt, sys, cfg, "")
+	m, _, _, _, _ := rackRunObserved(rt, sys, cfg, "", 0)
 	return m
 }
 
@@ -419,15 +426,20 @@ func rackRun(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConfig) rack
 // snapshot the caller merges in shard-index order. class labels the shard's
 // cluster class — rack names repeat across the per-class mini-fleets, so
 // class+system+rack is the unique series identity.
-func rackRunObserved(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConfig, class string) (rackMetrics, *metrics.Snapshot, *obs.Tracer, *metrics.Recording) {
+// shard is the shard's fixed matrix index, which (with the root seed)
+// derives the shard-local provenance recorder so span IDs never depend on
+// dispatch order.
+func rackRunObserved(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConfig, class string, shard int) (rackMetrics, *metrics.Snapshot, *obs.Tracer, *metrics.Recording, *causal.Log) {
 	var requests, successes, penaltyN, perfN int
 	var penaltySum, perfSum float64
 	var reg *metrics.Registry
 	var tracer *obs.Tracer
+	var prov *causal.Recorder
 	var shardLabels []metrics.Label
 	if cfg.Observe {
 		reg = metrics.NewRegistry()
 		tracer = newShardTracer(cfg.TraceOnly)
+		prov = causal.NewRecorder(parallel.ChildSeed(cfg.Seed, uint64(shard)), 1)
 		shardLabels = []metrics.Label{
 			metrics.L("class", class),
 			metrics.L("system", sys.String()),
@@ -459,12 +471,14 @@ func rackRunObserved(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConf
 		demands[i] = demandSeries(st, cfg, evalStart, ticks)
 	}
 	rack := power.NewRack(rackCfg, servers...)
+	rack.AttachProvenance(prov)
 	if reg != nil {
 		rack.Instrument(reg, tracer, shardLabels...)
 	}
 
 	// Global Overclocking Agent: training-week templates per server.
 	goa := core.NewGOA(rt.Name, rt.LimitWatts)
+	goa.AttachProvenance(prov)
 	if reg != nil {
 		goa.Instrument(reg, tracer, shardLabels...)
 	}
@@ -539,6 +553,7 @@ func rackRunObserved(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConf
 	// resolve the same series (identity is name+labels), so counters keep
 	// accumulating across a checkpoint/restore cycle.
 	instrumentSOA := func(a *core.SOA) {
+		a.AttachProvenance(prov)
 		if reg == nil {
 			return
 		}
@@ -588,6 +603,7 @@ func rackRunObserved(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConf
 			if err == nil {
 				g := core.NewGOA(rt.Name, rt.LimitWatts)
 				g.Restore(got.GOA)
+				g.AttachProvenance(prov)
 				if reg != nil {
 					g.Instrument(reg, tracer, shardLabels...)
 				}
@@ -632,10 +648,20 @@ func rackRunObserved(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConf
 					soas[i].Stop(now, "oc")
 				}
 				if d > 0 {
-					soas[i].Request(now, core.Request{
+					req := core.Request{
 						VM: "oc", Cores: d, TargetMHz: hosts[i].maxOC,
 						Priority: core.PriorityMetric,
-					})
+					}
+					// The demand signal plays the WI: its span roots the
+					// admission chain for this request.
+					req.Span = uint64(prov.Emit(causal.Record{
+						Time:      now,
+						Kind:      causal.KindMessage,
+						Component: "wi",
+						Site:      "wi.request",
+						Subject:   hosts[i].name + "/oc",
+					}))
+					soas[i].Request(now, req)
 				}
 			}
 			if d > 0 {
@@ -690,13 +716,18 @@ func rackRunObserved(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConf
 		perfSum: perfSum, perfN: perfN,
 	}
 	if reg == nil {
-		return m, nil, nil, nil
+		return m, nil, nil, nil, nil
 	}
+	// Critical-path and fan-out profile of the shard's causal log, plus the
+	// tracer's drop counter, become ordinary (sum-mergeable) series.
+	log := &causal.Log{Records: prov.Records()}
+	log.Register(reg, shardLabels...)
+	reg.Counter("trace_dropped_total", shardLabels...).Add(float64(tracer.Dropped()))
 	var recording *metrics.Recording
 	if recorder != nil {
 		recording = recorder.Recording()
 	}
-	return m, reg.Snapshot(), tracer, recording
+	return m, reg.Snapshot(), tracer, recording, log
 }
 
 // fleetOpts returns the parallel scheduling options for a fleet sim config.
@@ -771,10 +802,11 @@ func runTable1(cfg FleetSimConfig) (*Table, []Table1Row, *FleetObservation, erro
 		snap *metrics.Snapshot
 		tr   *obs.Tracer
 		rec  *metrics.Recording
+		prov *causal.Log
 	}
 	results := parallel.Map(len(shards), fleetOpts(cfg), func(i int) shardResult {
-		m, snap, tr, rec := rackRunObserved(shards[i].rack, shards[i].sys, cfg, shards[i].class.String())
-		return shardResult{m: m, snap: snap, tr: tr, rec: rec}
+		m, snap, tr, rec, prov := rackRunObserved(shards[i].rack, shards[i].sys, cfg, shards[i].class.String(), i)
+		return shardResult{m: m, snap: snap, tr: tr, rec: rec, prov: prov}
 	})
 
 	// Reduce in shard order: shards are grouped by cell, so this fold
@@ -792,10 +824,18 @@ func runTable1(cfg FleetSimConfig) (*Table, []Table1Row, *FleetObservation, erro
 			tracers[i] = r.tr
 			recs[i] = r.rec
 		}
+		prov := &causal.Log{}
+		for _, r := range results {
+			if r.prov != nil {
+				prov.Records = append(prov.Records, r.prov.Records...)
+			}
+		}
 		observation = &FleetObservation{
-			Metrics: metrics.Merge(snaps...),
-			Trace:   obs.Concat(tracers...),
-			Series:  metrics.MergeRecordings(recs...),
+			Metrics:      metrics.Merge(snaps...),
+			Trace:        obs.Concat(tracers...),
+			Series:       metrics.MergeRecordings(recs...),
+			Provenance:   prov,
+			CriticalPath: prov.Stats(),
 		}
 	}
 	for i, r := range results {

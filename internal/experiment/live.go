@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"smartoclock/internal/agent"
+	"smartoclock/internal/causal"
 	"smartoclock/internal/cluster"
 	"smartoclock/internal/core"
 	"smartoclock/internal/invariant"
@@ -110,6 +111,8 @@ type LiveResult struct {
 	Restored    bool
 	Metrics     *metrics.Snapshot
 	Trace       *obs.Tracer
+	// Provenance holds the (ring-bounded) causal decision log of the run.
+	Provenance *causal.Log
 }
 
 // Format renders the live run as a report table.
@@ -155,6 +158,11 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 	tracer := newShardTracer(cfg.TraceOnly)
 	maxOC := cfg.HW.MaxOCMHz
 	checker := invariant.NewChecker()
+	// Live runs are long-lived: the provenance recorder is a bounded ring so
+	// memory stays flat while the latest decisions remain explorable via
+	// /explain. Only the run goroutine touches it.
+	prov := causal.NewBounded(cfg.Seed, 2, 4096)
+	checker.AttachProvenance(prov)
 
 	// --- Two nodes on loopback: the gOA's and the servers' ----------------
 	goaNode, err := agent.NewTCPNode("goa-node", "127.0.0.1:0")
@@ -243,7 +251,9 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 	fullOC := float64(cfg.Servers) * servers[0].srv.OCDeltaWatts(len(vmCores), maxOC, 0.9)
 	limit := 0.9 * (est + 0.5*fullOC)
 	rack := power.NewRack(power.DefaultRackConfig("rack-live", limit), members...)
+	rack.AttachProvenance(prov)
 	goa := core.NewGOA("rack-live", limit)
+	goa.AttachProvenance(prov)
 	evenShare := limit / float64(cfg.Servers)
 	w.rack, w.goa = rack, goa
 
@@ -264,6 +274,7 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 			ls.srv.Instrument(reg)
 			ls.soa = core.NewSOA(soaCfg, ls.srv, lifetime.NewCoreBudgets(bcfg, ls.srv.NumCores(), cfg.Start), evenShare, cfg.Start)
 			ls.soa.Instrument(reg, tracer)
+			ls.soa.AttachProvenance(prov)
 		}
 		w.ckptWrites = reg.Counter("checkpoint_writes_total")
 		w.ckptErrors = reg.Counter("checkpoint_errors_total")
@@ -385,8 +396,13 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 		}
 	}
 
+	// Sinks that understand provenance (the telemetry server's /explain)
+	// get new records pushed after every tick.
+	provPub, _ := sink.(interface{ PublishProvenance([]causal.Record) })
+
 	// --- One tick of the world ---------------------------------------------
-	published := 0 // events already handed to the sink
+	published := 0             // events already handed to the sink
+	publishedProv := uint64(0) // records (kept + dropped) already handed over
 	profileEvery, budgetEvery := 2*time.Minute, time.Minute
 	nextProfile, nextBudget := cfg.Start.Add(profileEvery), cfg.Start.Add(budgetEvery)
 	checkpointing := cfg.CheckpointPath != "" && cfg.CheckpointEvery > 0
@@ -411,6 +427,7 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 					return
 				}
 				ls.soa.SetStaticBudget(b.Watts, true)
+				ls.soa.NoteBudget(now, b.Watts, m.Span)
 			case "rack.event":
 				ls := byAgent[m.To]
 				ev, err := agent.Decode[rackEventMsg](m)
@@ -420,12 +437,14 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 				ls.soa.OnRackEvent(now, power.Event{
 					Kind: power.EventKind(ev.Kind), Time: now,
 					Rack: "rack-live", Power: ev.Power, Limit: ev.Limit,
+					Span: m.Span,
 				})
 			case "soa.profile":
 				p, err := agent.Decode[profileMsg](m)
 				if err != nil {
 					return
 				}
+				goa.NoteProfile(m.Span)
 				goa.SetProfile(p.Server, core.ServerProfile{
 					Power: timeseries.FlatWeek(p.MedianWatts, time.Hour),
 					OC: &predict.OCTemplate{
@@ -455,10 +474,18 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 				_, active := ls.soa.Sessions()["vm"]
 				if want && !active {
 					res.Requests++
-					d := ls.soa.Request(now, core.Request{
+					req := core.Request{
 						VM: "vm", Cores: len(vmCores), TargetMHz: maxOC,
 						Priority: core.PriorityMetric, PreferredCores: vmCores,
-					})
+					}
+					req.Span = uint64(prov.Emit(causal.Record{
+						Time:      now,
+						Kind:      causal.KindMessage,
+						Component: "wi",
+						Site:      "wi.request",
+						Subject:   ls.srv.Name() + "/vm",
+					}))
+					d := ls.soa.Request(now, req)
 					if d.Granted {
 						res.Granted++
 					}
@@ -481,6 +508,14 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 			payload := rackEventMsg{Kind: int(ev.Kind), Power: ev.Power, Limit: ev.Limit}
 			for _, ls := range servers {
 				if msg, err := agent.NewMessage("rack.event", "rack", ls.agentID, payload); err == nil {
+					msg.Span = uint64(prov.Emit(causal.Record{
+						Parent:    causal.SpanID(ev.Span),
+						Time:      ev.Time,
+						Kind:      causal.KindMessage,
+						Component: "rack",
+						Site:      "msg.rack.event",
+						Subject:   ls.agentID,
+					}))
 					send(goaNode, msg, "rack", ls.agentID)
 				}
 			}
@@ -508,6 +543,13 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 					}
 				})
 				if msg, err := agent.NewMessage("soa.profile", ls.agentID, "goa", payload); err == nil {
+					msg.Span = uint64(prov.Emit(causal.Record{
+						Time:      now,
+						Kind:      causal.KindMessage,
+						Component: "soa",
+						Site:      "msg.soa.profile",
+						Subject:   ls.srv.Name(),
+					}))
 					send(soaNode, msg, ls.agentID, "goa")
 				}
 			}
@@ -515,11 +557,13 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 		if !now.Before(nextBudget) {
 			nextBudget = nextBudget.Add(budgetEvery)
 			var budgets map[string]float64
+			budgetSpans := make(map[string]uint64, len(servers))
 			lk.Do(func(*metrics.Registry) {
 				budgets = goa.BudgetsAt(now)
 				for _, ls := range servers {
 					if b, ok := budgets[ls.srv.Name()]; ok && b > 0 {
 						goa.TraceBroadcast(now, ls.srv.Name(), b)
+						budgetSpans[ls.srv.Name()] = goa.ProvenanceBroadcast(now, ls.srv.Name(), b)
 					}
 				}
 			})
@@ -529,6 +573,7 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 					continue
 				}
 				if msg, err := agent.NewMessage("goa.budget", "goa", ls.agentID, budgetMsg{Watts: b}); err == nil {
+					msg.Span = budgetSpans[ls.srv.Name()]
 					send(goaNode, msg, "goa", ls.agentID)
 				}
 			}
@@ -570,6 +615,17 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 			if evs := tracer.Events(); len(evs) > published {
 				sink.PublishEvents(evs[published:])
 				published = len(evs)
+			}
+			if provPub != nil {
+				recs := prov.Records()
+				total := uint64(len(recs)) + prov.Dropped()
+				if fresh := total - publishedProv; fresh > 0 {
+					if fresh > uint64(len(recs)) {
+						fresh = uint64(len(recs)) // ring overwrote some unseen records
+					}
+					provPub.PublishProvenance(recs[uint64(len(recs))-fresh:])
+					publishedProv = total
+				}
 			}
 		}
 		w.now = now.Add(cfg.Tick)
@@ -633,5 +689,6 @@ func RunLive(cfg LiveConfig, sink LiveSink) (*LiveResult, error) {
 	res.Violations = checker.Total()
 	res.Metrics = lk.Snapshot()
 	res.Trace = tracer
+	res.Provenance = &causal.Log{Records: prov.Records()}
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"smartoclock/internal/agent"
+	"smartoclock/internal/causal"
 	"smartoclock/internal/chaos"
 	"smartoclock/internal/cluster"
 	"smartoclock/internal/core"
@@ -68,6 +69,13 @@ type ZooConfig struct {
 	// its index, never from dispatch order).
 	Workers     int
 	ShuffleSeed int64
+
+	// Provenance enables causal decision records: each cell carries a
+	// deterministic recorder seeded from the cell seed, spans ride the
+	// control-plane messages, and the resulting log lands on
+	// ZooCellResult.Provenance. Off or on, the simulation result bytes are
+	// identical (the zero-observer-effect contract).
+	Provenance bool
 }
 
 // DefaultZooConfig returns the profile used by `socsim -zoo` and CI: the
@@ -89,6 +97,7 @@ func DefaultZooConfig() ZooConfig {
 		OCBudgetFraction: 0.25,
 		RackLimitScale:   0.90,
 		EnforcementGrace: 15 * time.Second,
+		Provenance:       true,
 	}
 }
 
@@ -123,6 +132,10 @@ type ZooCellResult struct {
 	AdmissionAudits int
 	InvariantChecks int64
 	Violations      []invariant.Violation
+	// Provenance is the cell's causal decision log (empty with provenance
+	// off). Records are in emission order, which the deterministic engine
+	// makes byte-stable for the cell's seed.
+	Provenance causal.Log
 	// Err is non-nil when any invariant was violated.
 	Err error
 }
@@ -168,7 +181,16 @@ func RunZooCell(cfg ZooConfig, f policy.Factory, sc trace.ZooScenario, seed int6
 		BaseDelay: cfg.BaseDelay,
 	}, eng, agent.NewBus())
 
+	// One recorder per cell: single-goroutine engine, deterministic span
+	// sequence derived from the cell seed. nil when provenance is off —
+	// every Emit/Span call below degrades to a no-op.
+	var prov *causal.Recorder
+	if cfg.Provenance {
+		prov = causal.NewRecorder(seed, 0)
+	}
+
 	checker := invariant.NewChecker()
+	checker.AttachProvenance(prov)
 	bcfg := lifetime.BudgetConfig{Epoch: cfg.BudgetEpoch, Fraction: cfg.OCBudgetFraction, CarryOver: true, MaxCarryOver: 1}
 
 	soaCfg := core.DefaultSOAConfig()
@@ -243,6 +265,7 @@ func RunZooCell(cfg ZooConfig, f policy.Factory, sc trace.ZooScenario, seed int6
 		for _, zs := range zr.servers {
 			zs := zs
 			zs.soa = core.NewSOA(sCfg, zs.host, lifetime.NewCoreBudgets(bcfg, zs.srv.NumCores(), cfg.Start), evenShare, cfg.Start)
+			zs.soa.AttachProvenance(prov)
 			tr.Register(zs.agentID, func(m agent.Message) {
 				switch m.Type {
 				case "goa.budget":
@@ -251,6 +274,7 @@ func RunZooCell(cfg ZooConfig, f policy.Factory, sc trace.ZooScenario, seed int6
 						return
 					}
 					zs.soa.SetStaticBudget(b.Watts, true)
+					zs.soa.NoteBudget(eng.Now(), b.Watts, m.Span)
 				case "rack.event":
 					ev, err := agent.Decode[rackEventMsg](m)
 					if err != nil {
@@ -259,16 +283,28 @@ func RunZooCell(cfg ZooConfig, f policy.Factory, sc trace.ZooScenario, seed int6
 					zs.soa.OnRackEvent(eng.Now(), power.Event{
 						Kind: power.EventKind(ev.Kind), Time: eng.Now(),
 						Rack: zr.name, Power: ev.Power, Limit: ev.Limit,
+						Span: m.Span,
 					})
 				}
 			})
 		}
 
-		// Rack events cross the (lossy) transport, like the chaos rig.
+		// Rack events cross the (lossy) transport, like the chaos rig. The
+		// event's provenance span (assigned by the rack's recorder) rides
+		// each relayed message so sOA setbacks chain back to the event.
+		zr.rack.AttachProvenance(prov)
 		zr.rack.Subscribe(func(ev power.Event) {
 			payload := rackEventMsg{Kind: int(ev.Kind), Power: ev.Power, Limit: ev.Limit}
 			for _, zs := range zr.servers {
 				if msg, err := agent.NewMessage("rack.event", zr.name, zs.agentID, payload); err == nil {
+					msg.Span = uint64(prov.Emit(causal.Record{
+						Parent:    causal.SpanID(ev.Span),
+						Time:      ev.Time,
+						Kind:      causal.KindMessage,
+						Component: "rack",
+						Site:      "msg.rack.event",
+						Subject:   zs.agentID,
+					}))
 					_ = tr.Send(msg)
 				}
 			}
@@ -276,6 +312,7 @@ func RunZooCell(cfg ZooConfig, f policy.Factory, sc trace.ZooScenario, seed int6
 
 		// gOA inbox.
 		goaID := "goa/" + zr.name
+		zr.goa.AttachProvenance(prov)
 		tr.Register(goaID, func(m agent.Message) {
 			if m.Type != "soa.profile" {
 				return
@@ -284,6 +321,7 @@ func RunZooCell(cfg ZooConfig, f policy.Factory, sc trace.ZooScenario, seed int6
 			if err != nil {
 				return
 			}
+			zr.goa.NoteProfile(m.Span)
 			zr.goa.SetProfile(p.Server, core.ServerProfile{
 				Power: timeseries.FlatWeek(p.MedianWatts, time.Hour),
 				OC: &predict.OCTemplate{
@@ -314,6 +352,13 @@ func RunZooCell(cfg ZooConfig, f policy.Factory, sc trace.ZooScenario, seed int6
 					CoreCost: zs.srv.Machine().Config().OCCoreCost(),
 				}
 				if msg, err := agent.NewMessage("soa.profile", zs.agentID, goaID, payload); err == nil {
+					msg.Span = uint64(prov.Emit(causal.Record{
+						Time:      now,
+						Kind:      causal.KindMessage,
+						Component: "soa",
+						Site:      "msg.soa.profile",
+						Subject:   zs.srv.Name(),
+					}))
 					_ = tr.Send(msg)
 				}
 			})
@@ -328,6 +373,7 @@ func RunZooCell(cfg ZooConfig, f policy.Factory, sc trace.ZooScenario, seed int6
 					continue
 				}
 				if msg, err := agent.NewMessage("goa.budget", goaID, zs.agentID, budgetMsg{Watts: b}); err == nil {
+					msg.Span = zr.goa.ProvenanceBroadcast(now, zs.srv.Name(), b)
 					_ = tr.Send(msg)
 				}
 			}
@@ -363,10 +409,20 @@ func RunZooCell(cfg ZooConfig, f policy.Factory, sc trace.ZooScenario, seed int6
 				_, active := zs.soa.Sessions()["vm"]
 				if want && !active {
 					res.Requests++
-					d := zs.soa.Request(now, core.Request{
+					req := core.Request{
 						VM: "vm", Cores: len(zs.vmCores), TargetMHz: zs.srv.MaxOCMHz(),
 						Priority: core.PriorityMetric, PreferredCores: zs.vmCores,
-					})
+					}
+					// The WI's ask is the root of the admission chain: the
+					// sOA's verdict record names this span as its parent.
+					req.Span = uint64(prov.Emit(causal.Record{
+						Time:      now,
+						Kind:      causal.KindMessage,
+						Component: "wi",
+						Site:      "wi.request",
+						Subject:   zs.srv.Name() + "/vm",
+					}))
+					d := zs.soa.Request(now, req)
 					if d.Granted {
 						res.Granted++
 					}
@@ -391,8 +447,19 @@ func RunZooCell(cfg ZooConfig, f policy.Factory, sc trace.ZooScenario, seed int6
 	}
 	res.InvariantChecks = checker.Checks()
 	res.Violations = checker.Violations()
+	res.Provenance = causal.Log{Records: prov.Records()}
 	res.Err = checker.Err()
 	return res
+}
+
+// ProvenanceLog concatenates the cells' provenance logs in matrix-index
+// order — the canonical whole-zoo log, byte-identical for any worker count.
+func (r *ZooResult) ProvenanceLog() *causal.Log {
+	var log causal.Log
+	for i := range r.Cells {
+		log.Records = append(log.Records, r.Cells[i].Provenance.Records...)
+	}
+	return &log
 }
 
 // RunZoo executes the full policy × scenario matrix. Cells run in parallel

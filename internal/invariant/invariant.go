@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"smartoclock/internal/causal"
 	"smartoclock/internal/core"
 	"smartoclock/internal/lifetime"
 	"smartoclock/internal/metrics"
@@ -72,7 +73,16 @@ type Checker struct {
 	tracer     *obs.Tracer
 	checksRun  *metrics.Counter
 	extraLabel []metrics.Label
+
+	// prov, when non-nil, receives one causal.Record per violation (see
+	// AttachProvenance).
+	prov *causal.Recorder
 }
+
+// AttachProvenance points the checker at a provenance recorder: every
+// violation emits a decision record with the invariant name as Policy.
+// Pass nil to detach.
+func (c *Checker) AttachProvenance(rec *causal.Recorder) { c.prov = rec }
 
 // NewChecker returns an empty checker recording up to 100 violations.
 func NewChecker() *Checker { return &Checker{MaxRecord: 100} }
@@ -119,11 +129,25 @@ func (c *Checker) Check(now time.Time) {
 		ck := &c.checks[i]
 		ck.fn(now, func(detail string) {
 			c.total++
+			var span causal.SpanID
+			if c.prov.Enabled() {
+				span = c.prov.Emit(causal.Record{
+					Time:      now,
+					Kind:      causal.KindDecision,
+					Component: "invariant",
+					Site:      "invariant.violation",
+					Subject:   ck.rack,
+					Policy:    ck.name,
+					Verdict:   "violation",
+					Detail:    detail,
+				})
+			}
 			if ck.viol != nil {
 				ck.viol.Inc()
 				c.tracer.Emit(obs.Event{
 					Time: now, Component: obs.Invariant, Kind: "violation",
 					Source: ck.rack, Detail: ck.name + ": " + detail,
+					Span: uint64(span),
 				})
 			}
 			if len(c.violations) < c.MaxRecord {

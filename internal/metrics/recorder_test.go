@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -218,6 +219,118 @@ func TestMergeRecordingsTimelineMismatch(t *testing.T) {
 		}
 	}()
 	MergeRecordings(a, b)
+}
+
+// TestMergeRecordingsIntervalMismatch pins the second mismatch class: same
+// timeline, but one shard sampled more intervals than the other — a sign
+// the harness ticked the shards unevenly, never a recoverable state.
+func TestMergeRecordingsIntervalMismatch(t *testing.T) {
+	a := shardRecording(1) // 3 intervals
+
+	reg := NewRegistry()
+	reg.Counter("work_total", L("shard", "s")).Add(1)
+	rec := NewRecorder(reg, t0, time.Second)
+	rec.Tick(t0.Add(time.Second)) // 1 interval, same start/step
+	b := rec.Recording()
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic on interval-count mismatch")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "intervals") {
+			t.Errorf("panic %q should name the interval mismatch", msg)
+		}
+	}()
+	MergeRecordings(a, b)
+}
+
+// TestMergeRecordingsEmptyShards pins the degenerate inputs: merging
+// nothing (or only nils) is nil, and a shard that recorded no series — an
+// idle worker — merges as a no-op rather than poisoning the timeline.
+func TestMergeRecordingsEmptyShards(t *testing.T) {
+	if m := MergeRecordings(); m != nil {
+		t.Errorf("merge of nothing = %+v, want nil", m)
+	}
+	if m := MergeRecordings(nil, nil); m != nil {
+		t.Errorf("merge of nils = %+v, want nil", m)
+	}
+
+	empty := &Recording{Start: t0, Step: time.Second}
+	a := shardRecording(1)
+	m := MergeRecordings(empty, a, nil, empty)
+	if m == nil {
+		t.Fatal("merge with empty shards = nil")
+	}
+	if len(m.Series) != len(a.Series) {
+		t.Fatalf("merged series = %d, want %d", len(m.Series), len(a.Series))
+	}
+	c := m.Find("work_total", map[string]string{"shard": "s"})
+	if c == nil || c.Samples[0] != a.Find("work_total", map[string]string{"shard": "s"}).Samples[0] {
+		t.Error("empty shards must not perturb the survivor's samples")
+	}
+
+	// An empty first shard must still pin the timeline for mismatch checks.
+	late := &Recording{Start: t0.Add(time.Hour), Step: time.Second}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic: empty first recording still fixes the timeline")
+		}
+	}()
+	MergeRecordings(empty, late, a)
+}
+
+// TestMergeRecordingsSingleSampleHistogram pins the smallest histogram
+// case end to end: one interval, one observation per shard, merged and
+// exported. Quantiles interpolate inside the only populated bucket and the
+// CSV export stays byte-deterministic.
+func TestMergeRecordingsSingleSampleHistogram(t *testing.T) {
+	shard := func(v float64) *Recording {
+		reg := NewRegistry()
+		reg.Histogram("lat", []float64{1, 2, 4}).Observe(v)
+		rec := NewRecorder(reg, t0, time.Second)
+		rec.Tick(t0.Add(time.Second))
+		return rec.Recording()
+	}
+
+	single := shard(0.5)
+	s := single.Find("lat", nil)
+	if s.CountDeltas[0] != 1 {
+		t.Fatalf("single-sample count = %d, want 1", s.CountDeltas[0])
+	}
+	// Rank 0.5 of 1 observation interpolates to half the (0,1] bucket.
+	if got := s.Quantile(0.5)[0]; got != 0.5 {
+		t.Errorf("single-sample p50 = %v, want 0.5", got)
+	}
+	if got := s.Quantile(1)[0]; got != 1 {
+		t.Errorf("single-sample p100 = %v, want bucket bound 1", got)
+	}
+
+	m := MergeRecordings(single, shard(3))
+	ms := m.Find("lat", nil)
+	if ms.CountDeltas[0] != 2 {
+		t.Fatalf("merged count = %d, want 2", ms.CountDeltas[0])
+	}
+	// One obs in (0,1], one in (2,4]: rank 1 lands exactly on the first
+	// bucket's cumulative count → its upper bound.
+	if got := ms.Quantile(0.5)[0]; got != 1 {
+		t.Errorf("merged p50 = %v, want 1", got)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"time,series,kind,value",
+		"2026-01-01T00:00:00Z,lat{},rate,2",
+		"2026-01-01T00:00:00Z,lat{},p50,1",
+		"2026-01-01T00:00:00Z,lat{},p99,3.96",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("CSV mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
 }
 
 // TestRecordingRoundTrip pins WriteJSON/ReadRecording as a lossless pair.

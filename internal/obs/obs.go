@@ -78,14 +78,29 @@ type Event struct {
 	Target    string    `json:"target,omitempty"`
 	Value     float64   `json:"value,omitempty"`
 	Detail    string    `json:"detail,omitempty"`
+	// Span and Parent tie the event into the causal-provenance layer
+	// (internal/causal) when provenance is enabled; both stay zero — and
+	// omitted from JSON, keeping pre-provenance traces byte-identical —
+	// otherwise.
+	Span   uint64 `json:"span,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
 }
 
 // Tracer accumulates events in emission order. Like the metrics registry it
 // is single-goroutine: each parallel shard owns its own Tracer, merged
 // afterwards with Append.
+//
+// A tracer is unbounded by default; Bound switches it to a ring of fixed
+// capacity where appends beyond it overwrite the oldest events. Overwrites
+// are counted and surfaced by Dropped — long-running harnesses export the
+// count as the `trace_dropped_total` metric so a truncated trace is
+// visible in telemetry rather than silently partial.
 type Tracer struct {
-	only   map[Component]bool // nil means trace every component
-	events []Event
+	only    map[Component]bool // nil means trace every component
+	events  []Event
+	bound   int // 0 = unbounded; otherwise ring capacity
+	start   int // oldest-event index once the bounded ring is full
+	dropped uint64
 }
 
 // New returns a tracer recording every component.
@@ -100,6 +115,32 @@ func NewFiltered(components ...Component) *Tracer {
 	return &Tracer{only: only}
 }
 
+// Bound caps the tracer at capacity events, keeping the most recent ones.
+// It returns the tracer for chaining (obs.New().Bound(n)). Bounding an
+// already-overfull tracer keeps the newest capacity events and counts the
+// rest as dropped. Safe on a nil tracer.
+func (t *Tracer) Bound(capacity int) *Tracer {
+	if t == nil || capacity <= 0 {
+		return t
+	}
+	if excess := len(t.events) - capacity; excess > 0 {
+		t.events = append(t.events[:0], t.events[excess:]...)
+		t.dropped += uint64(excess)
+	}
+	t.bound = capacity
+	t.start = 0
+	return t
+}
+
+// Dropped returns how many events a bounded tracer overwrote; 0 on a nil
+// or unbounded tracer.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
 // Emit records an event. Safe on a nil tracer (no-op), so instrumented
 // components need no tracing-enabled flag of their own.
 func (t *Tracer) Emit(ev Event) {
@@ -107,6 +148,12 @@ func (t *Tracer) Emit(ev Event) {
 		return
 	}
 	if t.only != nil && !t.only[ev.Component] {
+		return
+	}
+	if t.bound > 0 && len(t.events) == t.bound {
+		t.events[t.start] = ev
+		t.start = (t.start + 1) % t.bound
+		t.dropped++
 		return
 	}
 	t.events = append(t.events, ev)
@@ -121,22 +168,43 @@ func (t *Tracer) Len() int {
 }
 
 // Events returns the recorded events in emission order. The slice is the
-// tracer's own; callers must not mutate it.
+// tracer's own for unbounded tracers (callers must not mutate it) and a
+// fresh unwrapped copy for a bounded ring that has wrapped.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
-	return t.events
+	if t.bound == 0 || len(t.events) < t.bound || t.start == 0 {
+		return t.events
+	}
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.start:]...)
+	out = append(out, t.events[:t.start]...)
+	return out
 }
 
 // Append concatenates other's events onto t, preserving order. Merging
 // shard tracers in shard-index order keeps the combined trace deterministic
-// across worker counts.
+// across worker counts. A bounded t keeps only the newest events, counting
+// displaced ones as dropped.
 func (t *Tracer) Append(other *Tracer) {
 	if t == nil || other == nil {
 		return
 	}
-	t.events = append(t.events, other.events...)
+	evs := other.Events()
+	if t.bound == 0 {
+		t.events = append(t.events, evs...)
+		return
+	}
+	for _, ev := range evs {
+		if len(t.events) == t.bound {
+			t.events[t.start] = ev
+			t.start = (t.start + 1) % t.bound
+			t.dropped++
+			continue
+		}
+		t.events = append(t.events, ev)
+	}
 }
 
 // Concat builds a single tracer from shard tracers in argument order. Nil
@@ -156,7 +224,7 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 	if t == nil {
 		return nil
 	}
-	return WriteEventsJSONL(w, t.events)
+	return WriteEventsJSONL(w, t.Events())
 }
 
 // WriteEventsJSONL writes events as JSON lines. HTML escaping is disabled:

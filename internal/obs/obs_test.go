@@ -82,6 +82,81 @@ func TestConcatShardOrder(t *testing.T) {
 	}
 }
 
+func TestBoundedTracerRing(t *testing.T) {
+	tr := New().Bound(3)
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Time: t0.Add(time.Duration(i) * time.Second), Component: Rack, Kind: string(rune('a' + i))})
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", tr.Dropped())
+	}
+	evs := tr.Events()
+	if evs[0].Kind != "c" || evs[1].Kind != "d" || evs[2].Kind != "e" {
+		t.Fatalf("ring kept wrong window: %+v", evs)
+	}
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 || !strings.Contains(lines[0], `"kind":"c"`) {
+		t.Fatalf("JSONL not in oldest-first order:\n%s", b.String())
+	}
+}
+
+func TestBoundTrimsExistingOverflow(t *testing.T) {
+	tr := New()
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Component: SOA, Kind: string(rune('a' + i))})
+	}
+	tr.Bound(2)
+	if tr.Len() != 2 || tr.Dropped() != 3 {
+		t.Fatalf("Len/Dropped = %d/%d, want 2/3", tr.Len(), tr.Dropped())
+	}
+	if evs := tr.Events(); evs[0].Kind != "d" || evs[1].Kind != "e" {
+		t.Fatalf("trim kept wrong window: %+v", evs)
+	}
+	var nilTr *Tracer
+	if nilTr.Bound(4) != nil || nilTr.Dropped() != 0 {
+		t.Fatal("nil Bound must stay nil")
+	}
+}
+
+func TestBoundedAppend(t *testing.T) {
+	dst := New().Bound(2)
+	src := New()
+	for _, k := range []string{"x", "y", "z"} {
+		src.Emit(Event{Component: GOA, Kind: k})
+	}
+	dst.Append(src)
+	if dst.Len() != 2 || dst.Dropped() != 1 {
+		t.Fatalf("Len/Dropped = %d/%d, want 2/1", dst.Len(), dst.Dropped())
+	}
+	if evs := dst.Events(); evs[0].Kind != "y" || evs[1].Kind != "z" {
+		t.Fatalf("append kept wrong window: %+v", evs)
+	}
+}
+
+func TestEventSpanFieldsOmittedWhenZero(t *testing.T) {
+	tr := New()
+	tr.Emit(Event{Time: t0, Component: SOA, Kind: "grant"})
+	tr.Emit(Event{Time: t0, Component: SOA, Kind: "grant", Span: 7, Parent: 3})
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if strings.Contains(lines[0], "span") || strings.Contains(lines[0], "parent") {
+		t.Fatalf("zero span leaked into JSON: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"span":7`) || !strings.Contains(lines[1], `"parent":3`) {
+		t.Fatalf("span fields missing: %s", lines[1])
+	}
+}
+
 func TestWriteJSONLDeterministic(t *testing.T) {
 	mk := func() string {
 		tr := New()

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"smartoclock/internal/causal"
 	"smartoclock/internal/predict"
 	"smartoclock/internal/timeseries"
 )
@@ -102,7 +103,13 @@ type Admission struct {
 	limit    float64
 	peak     float64 // predicted rack peak: reservations + admitted peaks
 	admitted int
+	// prov, when non-nil, receives a causal.Record per admission verdict.
+	prov *causal.Recorder
 }
+
+// AttachProvenance points the admission controller at a provenance
+// recorder. Pass nil to detach.
+func (a *Admission) AttachProvenance(rec *causal.Recorder) { a.prov = rec }
 
 // NewAdmission creates an admission controller for a rack with the given
 // provisioned limit. It returns an error on invalid configuration.
@@ -164,6 +171,7 @@ func (a *Admission) Admit(now time.Time, c Candidate) AdmitDecision {
 	d := AdmitDecision{RackPeakWatts: a.peak, BudgetWatts: a.BudgetWatts()}
 	if c.NameplateWatts <= 0 {
 		d.Reason = fmt.Sprintf("candidate %s nameplate %v W, must be positive", c.Name, c.NameplateWatts)
+		a.provAdmit(now, c, d)
 		return d
 	}
 	peak, conservative, why := a.candidatePeak(now, c)
@@ -178,9 +186,42 @@ func (a *Admission) Admit(now time.Time, c Candidate) AdmitDecision {
 		d.Granted = false
 		d.Reason = fmt.Sprintf("predicted rack peak %.1f + %.1f W exceeds budget %.1f W",
 			a.peak, peak, d.BudgetWatts)
+		a.provAdmit(now, c, d)
 		return d
 	}
 	a.peak += peak
 	a.admitted++
+	a.provAdmit(now, c, d)
 	return d
+}
+
+// provAdmit records one oversubscription admission verdict.
+func (a *Admission) provAdmit(now time.Time, c Candidate, d AdmitDecision) {
+	if a.prov == nil {
+		return
+	}
+	verdict := "deny"
+	if d.Granted {
+		verdict = "grant"
+	}
+	conservative := 0.0
+	if d.Conservative {
+		conservative = 1
+	}
+	a.prov.Emit(causal.Record{
+		Time:      now,
+		Kind:      causal.KindDecision,
+		Component: "rack",
+		Site:      "oversub.admit",
+		Subject:   c.Name,
+		Policy:    fmt.Sprintf("peak-q%g", a.cfg.Quantile),
+		Verdict:   verdict,
+		Inputs: []causal.Input{
+			causal.In("peak_watts", d.PeakWatts),
+			causal.In("rack_peak_watts", d.RackPeakWatts),
+			causal.In("budget_watts", d.BudgetWatts),
+			causal.In("conservative", conservative),
+		},
+		Detail: d.Reason,
+	})
 }

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"smartoclock/internal/causal"
 	"smartoclock/internal/metrics"
 	"smartoclock/internal/obs"
 )
@@ -75,6 +76,11 @@ type Event struct {
 	Rack  string
 	Power float64 // rack draw when the event fired, watts
 	Limit float64 // rack power limit, watts
+	// Span is the causal span of the rack manager's provenance record for
+	// this event (internal/causal). Subscribers that act on the event —
+	// an sOA shedding its exploration surplus — record their reaction with
+	// Span as parent. Zero when provenance is off.
+	Span uint64
 }
 
 // RackConfig parameterizes a rack manager.
@@ -147,6 +153,9 @@ type Rack struct {
 
 	// obs, when non-nil, holds resolved metric handles and the tracer.
 	obs *rackObs
+	// prov, when non-nil, receives a causal.Record per emitted rack event
+	// (see provenance on emit); nil costs one pointer test.
+	prov *causal.Recorder
 }
 
 // rackObs holds the rack manager's resolved instruments.
@@ -207,6 +216,7 @@ func (r *Rack) obsEvent(ev Event) {
 		r.obs.tracer.Emit(obs.Event{
 			Time: ev.Time, Component: obs.Rack, Kind: ev.Kind.String(),
 			Source: ev.Rack, Value: ev.Power, Detail: "limit=" + fmt.Sprintf("%g", ev.Limit),
+			Span: ev.Span,
 		})
 	}
 }
@@ -302,7 +312,46 @@ func (r *Rack) IsCapped() bool {
 	return false
 }
 
+// AttachProvenance points the rack manager at a provenance recorder. Pass
+// nil to detach.
+func (r *Rack) AttachProvenance(rec *causal.Recorder) { r.prov = rec }
+
+// provEvent records an emitted rack event as a risk decision, returning
+// its span (0 with provenance off). Cap events additionally capture how
+// much throttling the capping pass applied.
+func (r *Rack) provEvent(ev Event) uint64 {
+	if r.prov == nil {
+		return 0
+	}
+	rec := causal.Record{
+		Time:      ev.Time,
+		Kind:      causal.KindDecision,
+		Component: "rack",
+		Site:      "rack." + ev.Kind.String(),
+		Subject:   ev.Rack,
+		Verdict:   ev.Kind.String(),
+		Inputs: []causal.Input{
+			causal.In("power_watts", ev.Power),
+			causal.In("limit_watts", ev.Limit),
+		},
+	}
+	if ev.Kind == EventCap {
+		capped, levels := 0, 0
+		for _, s := range r.servers {
+			if l := s.CapLevel(); l > 0 {
+				capped++
+				levels += l
+			}
+		}
+		rec.Inputs = append(rec.Inputs,
+			causal.In("servers_capped", float64(capped)),
+			causal.In("cap_levels", float64(levels)))
+	}
+	return uint64(r.prov.Emit(rec))
+}
+
 func (r *Rack) emit(ev Event) {
+	ev.Span = r.provEvent(ev)
 	r.obsEvent(ev)
 	for _, fn := range r.subs {
 		fn(ev)

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"smartoclock/internal/causal"
 	"smartoclock/internal/metrics"
 	"smartoclock/internal/obs"
 	"smartoclock/internal/store"
@@ -90,11 +91,61 @@ func (r *Ring) Tail(n int) []obs.Event {
 	return out
 }
 
+// DefaultProvCap bounds the provenance ring: enough to hold the causal
+// neighborhood of recent decisions without growing with run length.
+const DefaultProvCap = 8192
+
+// RecordRing is a bounded FIFO of provenance records, the causal.Record
+// sibling of Ring.
+type RecordRing struct {
+	buf   []causal.Record
+	next  int
+	total int
+}
+
+// NewRecordRing returns a ring holding up to capacity records.
+func NewRecordRing(capacity int) *RecordRing {
+	if capacity <= 0 {
+		capacity = DefaultProvCap
+	}
+	return &RecordRing{buf: make([]causal.Record, 0, capacity)}
+}
+
+// Append adds records in order, overwriting the oldest once full.
+func (r *RecordRing) Append(recs ...causal.Record) {
+	for _, rec := range recs {
+		if len(r.buf) < cap(r.buf) {
+			r.buf = append(r.buf, rec)
+		} else {
+			r.buf[r.next] = rec
+		}
+		r.next = (r.next + 1) % cap(r.buf)
+		r.total++
+	}
+}
+
+// Len returns the number of records currently held.
+func (r *RecordRing) Len() int { return len(r.buf) }
+
+// Records returns the held window oldest-first.
+func (r *RecordRing) Records() []causal.Record {
+	out := make([]causal.Record, 0, len(r.buf))
+	start := 0
+	if len(r.buf) == cap(r.buf) {
+		start = r.next
+	}
+	for i := range r.buf {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
 // Server owns the published telemetry state and the HTTP listener.
 type Server struct {
 	mu     sync.Mutex
 	snap   *metrics.Snapshot
 	ring   *Ring
+	prov   *RecordRing
 	state  store.StateInfo
 	mounts map[string]http.Handler
 
@@ -105,7 +156,7 @@ type Server struct {
 // NewServer returns a server with an empty snapshot and an event ring of
 // the given capacity (<=0 uses DefaultTailCap).
 func NewServer(tailCap int) *Server {
-	return &Server{snap: &metrics.Snapshot{}, ring: NewRing(tailCap)}
+	return &Server{snap: &metrics.Snapshot{}, ring: NewRing(tailCap), prov: NewRecordRing(0)}
 }
 
 // PublishSnapshot replaces the snapshot served at /metrics.
@@ -135,6 +186,17 @@ func (s *Server) PublishEvents(events []obs.Event) {
 	s.mu.Unlock()
 }
 
+// PublishProvenance appends causal decision records to the provenance ring
+// backing /explain.
+func (s *Server) PublishProvenance(recs []causal.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.prov.Append(recs...)
+	s.mu.Unlock()
+}
+
 // Mount attaches an extra handler subtree under pattern (e.g. "/api/v1/"),
 // so sibling planes — the mutating control-plane API, say — share the
 // telemetry listener. Mount before Start; later calls are ignored by
@@ -153,7 +215,9 @@ func (s *Server) Mount(pattern string, h http.Handler) {
 //	/metrics           Prometheus text exposition of the latest snapshot
 //	/healthz           liveness probe, always "ok"
 //	/statez            durable-state status (checkpoint/restore) as JSON
-//	/trace/tail?n=100  last n trace events as JSON lines (default 100)
+//	/trace/tail?n=100  last n trace events as JSON lines (default 100);
+//	                   ?component=a,b and ?span=ID filter server-side
+//	/explain?span=ID   a decision's full causal ancestry as JSON
 //	/debug/pprof/*     standard Go profiling endpoints
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -164,6 +228,7 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/trace/tail", s.handleTail)
+	mux.HandleFunc("/explain", s.handleExplain)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -216,11 +281,141 @@ func (s *Server) handleTail(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
+	// Server-side filters: unknown component names are caller bugs and get
+	// a 400 naming the valid set, exactly like the CLI's -trace-only flag.
+	var want map[obs.Component]bool
+	if q := r.URL.Query().Get("component"); q != "" {
+		comps, err := obs.ParseComponents(q)
+		if err != nil {
+			http.Error(w, "telemetry: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		want = make(map[obs.Component]bool, len(comps))
+		for _, c := range comps {
+			want[c] = true
+		}
+	}
+	var span uint64
+	if q := r.URL.Query().Get("span"); q != "" {
+		id, err := causal.ParseSpan(q)
+		if err != nil {
+			http.Error(w, "telemetry: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		span = uint64(id)
+	}
 	s.mu.Lock()
-	events := s.ring.Tail(n)
+	events := s.ring.Tail(s.ring.Len())
 	s.mu.Unlock()
+	if want != nil || span != 0 {
+		kept := events[:0]
+		for _, ev := range events {
+			if want != nil && !want[ev.Component] {
+				continue
+			}
+			if span != 0 && ev.Span != span && ev.Parent != span {
+				continue
+			}
+			kept = append(kept, ev)
+		}
+		events = kept
+	}
+	if len(events) > n {
+		events = events[len(events)-n:]
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	_ = obs.WriteEventsJSONL(w, events)
+}
+
+// Explanation is the /explain response: the requested decision, its causal
+// ancestry (root-first, ending at the decision itself) and its direct
+// consequences within the held provenance window.
+type Explanation struct {
+	Span     string          `json:"span"`
+	Record   causal.Record   `json:"record"`
+	Chain    []causal.Record `json:"chain"`
+	Children []causal.Record `json:"children,omitempty"`
+	// Held/Total report the provenance window the answer was computed
+	// from; an ancestor older than the window is absent, not unknown.
+	Held  int `json:"held"`
+	Total int `json:"total"`
+}
+
+// RecentRecords is the /explain?recent=N response: the newest held
+// provenance records, oldest first, for discovering spans to explain.
+type RecentRecords struct {
+	Records []causal.Record `json:"records"`
+	Held    int             `json:"held"`
+	Total   int             `json:"total"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("span")
+	if q == "" {
+		if rq := r.URL.Query().Get("recent"); rq != "" {
+			s.handleRecent(w, rq)
+			return
+		}
+		http.Error(w, "telemetry: usage /explain?span=<hex id> or /explain?recent=<n>", http.StatusBadRequest)
+		return
+	}
+	id, err := causal.ParseSpan(q)
+	if err != nil {
+		http.Error(w, "telemetry: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	log := &causal.Log{Records: s.prov.Records()}
+	total := s.prov.total
+	s.mu.Unlock()
+	rec := log.Find(id)
+	if rec == nil {
+		http.Error(w, fmt.Sprintf("telemetry: span %s not in the held provenance window", id), http.StatusNotFound)
+		return
+	}
+	chain := log.Chain(id)
+	// Chain returns leaf-first; a "why" reads top-down from the root cause.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	out := Explanation{
+		Span:     id.String(),
+		Record:   *rec,
+		Chain:    chain,
+		Children: log.Children(id),
+		Held:     log.Len(),
+		Total:    total,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}
+
+// handleRecent serves the span-discovery half of /explain: the newest N
+// held provenance records, bounded like /trace/tail.
+func (s *Server) handleRecent(w http.ResponseWriter, rq string) {
+	n, err := strconv.Atoi(rq)
+	if err != nil || n <= 0 || n > MaxTailRequest {
+		http.Error(w, fmt.Sprintf("telemetry: recent must be an integer in [1,%d]", MaxTailRequest),
+			http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	recs := s.prov.Records()
+	total := s.prov.total
+	s.mu.Unlock()
+	held := len(recs)
+	if len(recs) > n {
+		recs = recs[len(recs)-n:]
+	}
+	out := RecentRecords{Records: recs, Held: held, Total: total}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
 }
 
 // Start listens on addr (use "127.0.0.1:0" for a free port) and serves in a

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"smartoclock/internal/causal"
 	"smartoclock/internal/metrics"
 	"smartoclock/internal/obs"
 	"smartoclock/internal/store"
@@ -226,6 +227,235 @@ func TestTraceTailEdges(t *testing.T) {
 	}
 	if lines := strings.Split(strings.TrimSpace(body), "\n"); len(lines) != 1 {
 		t.Fatalf("n=max returned %d events, ring holds 1", len(lines))
+	}
+}
+
+// TestTraceTailComponentFilter covers the server-side ?component= filter:
+// filtering happens over the full held window (not the post-truncation
+// tail), multiple names combine as a union, and unknown names are 400s
+// naming the valid set.
+func TestTraceTailComponentFilter(t *testing.T) {
+	s, ts := newTestServer(t)
+	var events []obs.Event
+	for i := 0; i < 5; i++ {
+		events = append(events,
+			obs.Event{Time: t0.Add(time.Duration(2*i) * time.Second), Component: obs.Rack, Kind: "cap"},
+			obs.Event{Time: t0.Add(time.Duration(2*i+1) * time.Second), Component: obs.SOA, Kind: "grant"},
+		)
+	}
+	s.PublishEvents(events)
+
+	code, body := get(t, ts.URL+"/trace/tail?component=rack")
+	if code != http.StatusOK {
+		t.Fatalf("?component=rack status = %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("rack-only tail = %d lines, want 5", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, `"component":"rack"`) {
+			t.Errorf("rack filter leaked: %s", l)
+		}
+	}
+
+	// The filter applies before the tail cut: asking for 2 rack events must
+	// return the 2 newest rack events, not whatever survives in the last 2
+	// slots of the mixed window.
+	code, body = get(t, ts.URL+"/trace/tail?component=rack&n=2")
+	if code != http.StatusOK {
+		t.Fatalf("rack n=2 status = %d", code)
+	}
+	if lines := strings.Split(strings.TrimSpace(body), "\n"); len(lines) != 2 {
+		t.Fatalf("rack n=2 = %d lines", len(lines))
+	}
+
+	// Union of components.
+	code, body = get(t, ts.URL+"/trace/tail?component=rack,soa")
+	if code != http.StatusOK {
+		t.Fatalf("rack,soa status = %d", code)
+	}
+	if lines := strings.Split(strings.TrimSpace(body), "\n"); len(lines) != 10 {
+		t.Fatalf("rack,soa tail = %d lines, want 10", len(lines))
+	}
+
+	code, body = get(t, ts.URL+"/trace/tail?component=nonsense")
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown component status = %d, want 400", code)
+	}
+	if !strings.Contains(body, "nonsense") || !strings.Contains(body, "rack") {
+		t.Errorf("unknown-component error %q should name the bad value and the valid set", body)
+	}
+}
+
+// TestTraceTailSpanFilter covers ?span=: an event matches when the span is
+// its own or its parent, and a malformed span is a 400.
+func TestTraceTailSpanFilter(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.PublishEvents([]obs.Event{
+		{Time: t0, Component: obs.SOA, Kind: "request", Span: 0xabc},
+		{Time: t0.Add(time.Second), Component: obs.SOA, Kind: "grant", Span: 0xdef, Parent: 0xabc},
+		{Time: t0.Add(2 * time.Second), Component: obs.Rack, Kind: "cap", Span: 0x123},
+	})
+
+	code, body := get(t, ts.URL+"/trace/tail?span=0000000000000abc")
+	if code != http.StatusOK {
+		t.Fatalf("?span status = %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("span filter = %d lines, want request+child grant", len(lines))
+	}
+	if code, _ := get(t, ts.URL+"/trace/tail?span=zzz"); code != http.StatusBadRequest {
+		t.Errorf("bad span status = %d, want 400", code)
+	}
+
+	// Filters compose: span 0xabc AND component rack matches nothing.
+	code, body = get(t, ts.URL+"/trace/tail?span=0000000000000abc&component=rack")
+	if code != http.StatusOK {
+		t.Fatalf("composed filter status = %d", code)
+	}
+	if strings.TrimSpace(body) != "" {
+		t.Errorf("composed filter should be empty, got %q", body)
+	}
+}
+
+func provRecord(span, parent causal.SpanID, site, verdict string, at time.Time) causal.Record {
+	return causal.Record{
+		Span: span, Parent: parent, Time: at,
+		Kind: causal.KindDecision, Component: "soa", Site: site, Verdict: verdict,
+	}
+}
+
+// TestExplain covers the /explain endpoint: usage and parse 400s, a 404
+// for an unheld span, and a 200 whose chain reads root-first with the
+// decision's children attached.
+func TestExplain(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.PublishProvenance([]causal.Record{
+		provRecord(0xa, 0, "wi.request", "-", t0),
+		provRecord(0xb, 0xa, "soa.admit", "grant", t0.Add(time.Second)),
+		provRecord(0xc, 0xb, "soa.session", "stop", t0.Add(2*time.Second)),
+	})
+
+	if code, body := get(t, ts.URL+"/explain"); code != http.StatusBadRequest || !strings.Contains(body, "usage") {
+		t.Errorf("missing span = %d %q, want 400 usage", code, body)
+	}
+	if code, _ := get(t, ts.URL+"/explain?span=xyz"); code != http.StatusBadRequest {
+		t.Errorf("bad span = %d, want 400", code)
+	}
+	if code, body := get(t, ts.URL+"/explain?span=00000000000000ff"); code != http.StatusNotFound ||
+		!strings.Contains(body, "00000000000000ff") {
+		t.Errorf("unheld span = %d %q, want 404 naming the span", code, body)
+	}
+
+	code, body := get(t, ts.URL+"/explain?span=000000000000000b")
+	if code != http.StatusOK {
+		t.Fatalf("/explain status = %d: %s", code, body)
+	}
+	var ex Explanation
+	if err := json.Unmarshal([]byte(body), &ex); err != nil {
+		t.Fatalf("/explain not JSON: %v\n%s", err, body)
+	}
+	if ex.Record.Site != "soa.admit" || ex.Record.Verdict != "grant" {
+		t.Errorf("record = %+v, want the admit decision", ex.Record)
+	}
+	if len(ex.Chain) != 2 || ex.Chain[0].Site != "wi.request" || ex.Chain[1].Site != "soa.admit" {
+		t.Errorf("chain should read root-first request->admit, got %+v", ex.Chain)
+	}
+	if len(ex.Children) != 1 || ex.Children[0].Site != "soa.session" {
+		t.Errorf("children = %+v, want the session stop", ex.Children)
+	}
+	if ex.Held != 3 || ex.Total != 3 {
+		t.Errorf("held/total = %d/%d, want 3/3", ex.Held, ex.Total)
+	}
+}
+
+// TestExplainRecent covers the span-discovery path: /explain?recent=N
+// lists the newest held records oldest-first, and out-of-range N is a 400.
+func TestExplainRecent(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.PublishProvenance([]causal.Record{
+		provRecord(0xa, 0, "wi.request", "-", t0),
+		provRecord(0xb, 0xa, "soa.admit", "grant", t0.Add(time.Second)),
+		provRecord(0xc, 0xb, "soa.session", "stop", t0.Add(2*time.Second)),
+	})
+
+	code, body := get(t, ts.URL+"/explain?recent=2")
+	if code != http.StatusOK {
+		t.Fatalf("?recent status = %d: %s", code, body)
+	}
+	var rr RecentRecords
+	if err := json.Unmarshal([]byte(body), &rr); err != nil {
+		t.Fatalf("?recent not JSON: %v\n%s", err, body)
+	}
+	if len(rr.Records) != 2 || rr.Records[0].Site != "soa.admit" || rr.Records[1].Site != "soa.session" {
+		t.Errorf("recent = %+v, want the 2 newest oldest-first", rr.Records)
+	}
+	if rr.Held != 3 || rr.Total != 3 {
+		t.Errorf("held/total = %d/%d, want 3/3", rr.Held, rr.Total)
+	}
+
+	for _, bad := range []string{"0", "-1", "bogus", fmt.Sprint(MaxTailRequest + 1)} {
+		if code, _ := get(t, ts.URL+"/explain?recent="+bad); code != http.StatusBadRequest {
+			t.Errorf("recent=%s status = %d, want 400", bad, code)
+		}
+	}
+}
+
+// TestExplainWindowEviction verifies the bounded record ring reports an
+// aged-out window honestly: Held < Total and the chain stops where the
+// ancestor fell out.
+func TestExplainWindowEviction(t *testing.T) {
+	s := NewServer(4)
+	s.prov = NewRecordRing(2)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	s.PublishProvenance([]causal.Record{
+		provRecord(0xa, 0, "wi.request", "-", t0),
+		provRecord(0xb, 0xa, "soa.admit", "grant", t0.Add(time.Second)),
+		provRecord(0xc, 0xb, "soa.session", "stop", t0.Add(2*time.Second)),
+	})
+
+	// 0xa was evicted by the 2-slot ring.
+	if code, _ := get(t, ts.URL+"/explain?span=000000000000000a"); code != http.StatusNotFound {
+		t.Errorf("evicted span = %d, want 404", code)
+	}
+	code, body := get(t, ts.URL+"/explain?span=000000000000000c")
+	if code != http.StatusOK {
+		t.Fatalf("/explain status = %d", code)
+	}
+	var ex Explanation
+	if err := json.Unmarshal([]byte(body), &ex); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Held != 2 || ex.Total != 3 {
+		t.Errorf("held/total = %d/%d, want 2/3", ex.Held, ex.Total)
+	}
+	if len(ex.Chain) != 2 || ex.Chain[0].Site != "soa.admit" {
+		t.Errorf("chain should stop at the held admit, got %+v", ex.Chain)
+	}
+}
+
+// TestRecordRing exercises the provenance ring directly: unbounded growth
+// at cap 0, overwrite at capacity, oldest-first unwrap.
+func TestRecordRing(t *testing.T) {
+	r := NewRecordRing(0)
+	for i := 1; i <= 3; i++ {
+		r.Append(causal.Record{Span: causal.SpanID(i)})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("unbounded ring len = %d", r.Len())
+	}
+
+	b := NewRecordRing(2)
+	for i := 1; i <= 5; i++ {
+		b.Append(causal.Record{Span: causal.SpanID(i)})
+	}
+	recs := b.Records()
+	if len(recs) != 2 || recs[0].Span != 4 || recs[1].Span != 5 {
+		t.Fatalf("bounded ring = %+v, want spans 4,5 oldest-first", recs)
 	}
 }
 
