@@ -1,13 +1,29 @@
 // Command socbench measures the parallel fleet-simulation scaling
-// trajectory: it runs the Table I experiment at several worker counts and
-// writes a BENCH_fleet.json with wall-clock time, racks/sec throughput and
-// allocation counts per configuration. It also cross-checks that every
-// worker count produced a byte-identical table — the determinism contract
-// the parallel runner guarantees.
+// trajectory twice over:
+//
+//  1. The worker sweep — the Table I experiment at several worker counts,
+//     with wall-clock time, racks/sec, allocation counts and honest
+//     parallelism stamps per point. speedup_vs_1 is only recorded for
+//     points the host could actually parallelize (workers <= GOMAXPROCS);
+//     beyond that the field is omitted and a note explains why, so a
+//     single-core runner can never again publish a "flat speedup" that is
+//     really just an unrunnable configuration.
+//  2. The fleet scale curve — streamed fleets at increasing rack counts
+//     (default 30, 1000 and the paper's 7100 dedicated racks), recording
+//     racks/sec and bytes/rack per point. Because shards generate their
+//     racks on entry and drop them on exit, bytes/rack must stay flat (in
+//     fact shrink) as the fleet grows.
+//
+// Both sections land in one BENCH_fleet.json. socbench also cross-checks
+// that every worker count produced a byte-identical table — the
+// determinism contract the parallel runner guarantees — and exits nonzero
+// otherwise.
 //
 // Usage:
 //
-//	socbench [-racks N] [-traindays D] [-evaldays D] [-seed S] [-out FILE]
+//	socbench [-racks N] [-traindays D] [-evaldays D] [-seed S]
+//	         [-scale-racks 30,1000,7100] [-scale-servers N]
+//	         [-scale-traindays D] [-scale-evaldays D] [-out FILE]
 package main
 
 import (
@@ -18,6 +34,8 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"smartoclock/internal/causal"
@@ -31,7 +49,18 @@ type benchPoint struct {
 	RacksPerSec float64 `json:"racks_per_sec"`
 	Allocs      uint64  `json:"allocs"`
 	BytesAlloc  uint64  `json:"bytes_alloc"`
-	Speedup     float64 `json:"speedup_vs_1"`
+
+	// GoMaxProcs and EffectiveParallelism are stamped per point: the
+	// parallelism the host could actually deliver for this worker count.
+	GoMaxProcs           int `json:"gomaxprocs"`
+	EffectiveParallelism int `json:"effective_parallelism"`
+
+	// Speedup is wall(workers=1) / wall(this point). It is omitted — and
+	// SpeedupNote set — when workers exceeds GOMAXPROCS, because the extra
+	// workers never ran concurrently and the ratio would measure scheduler
+	// noise, not scaling.
+	Speedup     *float64 `json:"speedup_vs_1,omitempty"`
+	SpeedupNote string   `json:"speedup_note,omitempty"`
 }
 
 // benchReport is the top-level BENCH_fleet.json document.
@@ -46,9 +75,49 @@ type benchReport struct {
 	Seed          int64        `json:"seed"`
 	Deterministic bool         `json:"deterministic_across_workers"`
 	Points        []benchPoint `json:"points"`
+	// Scale is the streamed-fleet scaling curve: one point per rack count,
+	// each with racks/sec, bytes/rack and parallelism stamps.
+	Scale []*experiment.ScaleResult `json:"scale,omitempty"`
 	// CriticalPath profiles the causal decision log of one observed run:
 	// longest chain, decisions/messages, records per tick.
 	CriticalPath *causal.Stats `json:"critical_path,omitempty"`
+}
+
+// finishPoint applies the honest-parallelism policy to a measured point:
+// stamp the effective parallelism, and either record speedup_vs_1 (when
+// the host could run all workers) or omit it with an explanatory note.
+// Pure so the policy is unit-testable.
+func finishPoint(pt benchPoint, baseWall float64) benchPoint {
+	pt.EffectiveParallelism = experiment.EffectiveParallelism(pt.Workers, pt.GoMaxProcs)
+	if pt.Workers > pt.GoMaxProcs {
+		pt.SpeedupNote = fmt.Sprintf(
+			"workers=%d exceeds GOMAXPROCS=%d: only %d ran concurrently, so speedup_vs_1 is not meaningful",
+			pt.Workers, pt.GoMaxProcs, pt.EffectiveParallelism)
+		return pt
+	}
+	if baseWall > 0 && pt.WallSeconds > 0 {
+		s := baseWall / pt.WallSeconds
+		pt.Speedup = &s
+	}
+	return pt
+}
+
+// parseRackList parses a comma-separated list of rack counts, e.g.
+// "30,1000,7100". An empty string yields an empty list (scale curve off).
+func parseRackList(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad rack count %q (want positive integers, comma-separated)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func main() {
@@ -59,12 +128,21 @@ func main() {
 	trainDays := flag.Int("traindays", 7, "trace days used to fit templates")
 	evalDays := flag.Int("evaldays", 3, "simulated days with the agents running")
 	seed := flag.Int64("seed", 1, "deterministic generation seed")
+	scaleRacks := flag.String("scale-racks", "30,1000,7100", "comma-separated fleet sizes for the streamed scale curve (empty disables)")
+	scaleServers := flag.Int("scale-servers", 6, "servers per rack on the scale curve (<= 0 uses the paper default)")
+	scaleTrain := flag.Int("scale-traindays", 2, "training days per rack on the scale curve")
+	scaleEval := flag.Int("scale-evaldays", 1, "evaluated days per rack on the scale curve")
 	out := flag.String("out", "BENCH_fleet.json", "output JSON path")
 	flag.Parse()
 
+	scaleSizes, err := parseRackList(*scaleRacks)
+	if err != nil {
+		log.Fatalf("-scale-racks: %v", err)
+	}
+
 	// Worker counts: 1, 2, 4, ..., NumCPU, deduplicated and sorted. On a
-	// single-core host this degenerates to just {1}, which still yields a
-	// valid (if flat) trajectory.
+	// single-core host only the workers=1 point carries speedup_vs_1; the
+	// rest are stamped with effective_parallelism=1 and a note.
 	counts := map[int]bool{1: true, 2: true, 4: true, runtime.NumCPU(): true}
 	var workerCounts []int
 	for w := range counts {
@@ -123,14 +201,37 @@ func main() {
 			RacksPerSec: float64(totalRacks) / wall.Seconds(),
 			Allocs:      after.Mallocs - before.Mallocs,
 			BytesAlloc:  after.TotalAlloc - before.TotalAlloc,
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
 		}
 		if baseWall == 0 {
 			baseWall = pt.WallSeconds
 		}
-		pt.Speedup = baseWall / pt.WallSeconds
+		pt = finishPoint(pt, baseWall)
 		rep.Points = append(rep.Points, pt)
-		fmt.Fprintf(os.Stderr, "socbench: workers=%-3d wall=%.2fs racks/sec=%.1f allocs=%d speedup=%.2fx\n",
-			w, pt.WallSeconds, pt.RacksPerSec, pt.Allocs, pt.Speedup)
+		speedup := "n/a (workers > GOMAXPROCS)"
+		if pt.Speedup != nil {
+			speedup = fmt.Sprintf("%.2fx", *pt.Speedup)
+		}
+		fmt.Fprintf(os.Stderr, "socbench: workers=%-3d eff=%d wall=%.2fs racks/sec=%.1f allocs=%d speedup=%s\n",
+			w, pt.EffectiveParallelism, pt.WallSeconds, pt.RacksPerSec, pt.Allocs, speedup)
+	}
+
+	// The streamed scale curve: each fleet size runs once with the worker
+	// bound left at GOMAXPROCS. bytes/rack across the curve is the
+	// O(active shard) witness — it must not grow with the fleet.
+	for _, n := range scaleSizes {
+		sc := experiment.DefaultScaleConfig(n)
+		sc.Seed = *seed
+		sc.TrainDays = *scaleTrain
+		sc.EvalDays = *scaleEval
+		sc.ServersPerRack = *scaleServers
+		res, err := experiment.RunFleetScale(sc)
+		if err != nil {
+			log.Fatalf("scale racks=%d: %v", n, err)
+		}
+		rep.Scale = append(rep.Scale, res)
+		fmt.Fprintf(os.Stderr, "socbench: scale racks=%-5d wall=%.1fs racks/sec=%.1f bytes/rack=%d peak=%dMB eff=%d\n",
+			n, res.WallSeconds, res.RacksPerSec, res.BytesPerRack, res.PeakHeapBytes>>20, res.EffectiveParallelism)
 	}
 
 	// One extra observed run (at the widest worker count) profiles the causal

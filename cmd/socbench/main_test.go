@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestFinishPointOmitsSpeedupBeyondGoMaxProcs is the regression test for
+// the flat-speedup methodology bug: a single-core host used to record
+// speedup_vs_1 ~= 1.0 for workers=2 and workers=4 as if the sweep had
+// measured scaling. Points whose worker bound exceeds GOMAXPROCS must now
+// omit the field entirely and carry an explanatory note instead.
+func TestFinishPointOmitsSpeedupBeyondGoMaxProcs(t *testing.T) {
+	pt := finishPoint(benchPoint{Workers: 4, WallSeconds: 2.0, GoMaxProcs: 1}, 2.1)
+	if pt.Speedup != nil {
+		t.Errorf("workers=4 on GOMAXPROCS=1 recorded speedup_vs_1 = %v", *pt.Speedup)
+	}
+	if pt.SpeedupNote == "" {
+		t.Error("omitted speedup carries no explanatory note")
+	}
+	if pt.EffectiveParallelism != 1 {
+		t.Errorf("effective parallelism = %d, want 1", pt.EffectiveParallelism)
+	}
+
+	raw, err := json.Marshal(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), `"speedup_vs_1":`) {
+		t.Errorf("marshaled point still contains speedup_vs_1: %s", raw)
+	}
+	for _, key := range []string{"gomaxprocs", "effective_parallelism", "speedup_note"} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("marshaled point missing %q: %s", key, raw)
+		}
+	}
+}
+
+// TestFinishPointRecordsSpeedupWithinGoMaxProcs covers the honest side:
+// when the host can actually run the workers, speedup is measured against
+// the workers=1 wall time and survives the JSON round trip.
+func TestFinishPointRecordsSpeedupWithinGoMaxProcs(t *testing.T) {
+	pt := finishPoint(benchPoint{Workers: 2, WallSeconds: 1.0, GoMaxProcs: 4}, 2.0)
+	if pt.Speedup == nil {
+		t.Fatal("workers=2 on GOMAXPROCS=4 omitted speedup_vs_1")
+	}
+	if *pt.Speedup != 2.0 {
+		t.Errorf("speedup = %v, want 2.0", *pt.Speedup)
+	}
+	if pt.SpeedupNote != "" {
+		t.Errorf("unexpected note on a valid speedup: %q", pt.SpeedupNote)
+	}
+	if pt.EffectiveParallelism != 2 {
+		t.Errorf("effective parallelism = %d, want 2", pt.EffectiveParallelism)
+	}
+	raw, err := json.Marshal(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"speedup_vs_1":2`) {
+		t.Errorf("marshaled point missing speedup_vs_1: %s", raw)
+	}
+	if strings.Contains(string(raw), "speedup_note") {
+		t.Errorf("marshaled point has a spurious note: %s", raw)
+	}
+}
+
+// The workers=1 baseline point divides by itself: speedup exactly 1.
+func TestFinishPointBaseline(t *testing.T) {
+	pt := finishPoint(benchPoint{Workers: 1, WallSeconds: 2.5, GoMaxProcs: 1}, 2.5)
+	if pt.Speedup == nil || *pt.Speedup != 1.0 {
+		t.Errorf("baseline speedup = %v, want 1.0", pt.Speedup)
+	}
+}
+
+func TestParseRackList(t *testing.T) {
+	got, err := parseRackList("30, 1000,7100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{30, 1000, 7100}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parsed %v, want %v", got, want)
+		}
+	}
+	if got, err := parseRackList(""); err != nil || got != nil {
+		t.Errorf("empty list: got %v, %v", got, err)
+	}
+	for _, bad := range []string{"30,x", "0", "-5", "30,,40"} {
+		if _, err := parseRackList(bad); err == nil {
+			t.Errorf("parseRackList(%q) accepted invalid input", bad)
+		}
+	}
+}

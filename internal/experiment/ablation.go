@@ -47,17 +47,26 @@ func runHighPower(cfg FleetSimConfig, sys baselines.System) (ablationPoint, erro
 	// separates per-day aggregation from raw replay (§IV-B).
 	fcfg.RackTemplate.OutlierDayProb = 0.6
 	fcfg.RackTemplate.OutlierWithinDays = cfg.TrainDays
-	fleet, err := trace.GenFleet(fcfg)
-	if err != nil {
-		return ablationPoint{}, err
+	// Stream: each worker generates its rack (a pure function of seed and
+	// index), simulates it and drops it — the single-class mix means every
+	// index is a High-Power rack, so no materialized fleet is needed.
+	type out struct {
+		m   rackMetrics
+		err error
 	}
-	racks := fleet.ByClass(trace.HighPower)
-	results := parallel.Map(len(racks), fleetOpts(cfg), func(i int) rackMetrics {
-		return rackRun(racks[i].RackTrace, sys, cfg)
+	results := parallel.Map(fcfg.NumRacks(), fleetOpts(cfg), func(i int) out {
+		fr, err := trace.GenFleetRack(fcfg, i)
+		if err != nil {
+			return out{err: err}
+		}
+		return out{m: rackRun(fr.RackTrace, sys, cfg)}
 	})
 	var agg rackMetrics
-	for _, m := range results {
-		agg.accumulate(m)
+	for _, o := range results {
+		if o.err != nil {
+			return ablationPoint{}, o.err
+		}
+		agg.accumulate(o.m)
 	}
 	pt := ablationPoint{caps: agg.caps}
 	if agg.requests > 0 {

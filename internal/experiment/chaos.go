@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"time"
@@ -379,13 +380,22 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	// directly); only the notifications to the sOAs are messages. A lost
 	// warning means the sOA keeps exploring and gets capped again — safe
 	// but slower, exactly the decentralized-enforcement story.
+	// The event payload is identical for every recipient: encode it once and
+	// fan the batch out in one transport call. The scratch slice is reused
+	// across events — the rack fires at most one event per tick, and the
+	// subscription runs on the single simulation goroutine.
+	var rackEventBatch []agent.Message
 	rack.Subscribe(func(ev power.Event) {
-		payload := rackEventMsg{Kind: int(ev.Kind), Power: ev.Power, Limit: ev.Limit}
-		for _, cs := range servers {
-			if msg, err := agent.NewMessage("rack.event", "rack", cs.agentID, payload); err == nil {
-				_ = tr.Send(msg)
-			}
+		payload, err := json.Marshal(rackEventMsg{Kind: int(ev.Kind), Power: ev.Power, Limit: ev.Limit})
+		if err != nil {
+			return
 		}
+		batch := rackEventBatch[:0]
+		for _, cs := range servers {
+			batch = append(batch, agent.Message{Type: "rack.event", From: "rack", To: cs.agentID, Payload: payload})
+		}
+		rackEventBatch = batch
+		_ = agent.SendAll(tr, batch)
 	})
 
 	// --- gOA inbox ---------------------------------------------------------
@@ -516,11 +526,16 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		})
 	}
 	// gOA → sOA budget pushes. While the gOA is down it computes nothing.
+	// The per-tick burst accumulates into a reused scratch batch and crosses
+	// the transport in one call; the chaos transport draws its fault rng per
+	// message in batch order, so results match unbatched sends byte for byte.
+	var budgetBatch []agent.Message
 	eng.Every(cfg.Start.Add(cfg.BudgetEvery), cfg.BudgetEvery, func(now time.Time) {
 		if tr.Down("goa") {
 			return
 		}
 		budgets := goa.BudgetsAt(now)
+		batch := budgetBatch[:0]
 		for _, cs := range servers {
 			b, ok := budgets[cs.srv.Name()]
 			if !ok || b <= 0 {
@@ -528,9 +543,11 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 			}
 			goa.TraceBroadcast(now, cs.srv.Name(), b)
 			if msg, err := agent.NewMessage("goa.budget", "goa", cs.agentID, budgetMsg{Watts: b}); err == nil {
-				_ = tr.Send(msg)
+				batch = append(batch, msg)
 			}
 		}
+		budgetBatch = batch
+		_ = agent.SendAll(tr, batch)
 	})
 
 	// --- Main control tick -------------------------------------------------

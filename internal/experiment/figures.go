@@ -7,6 +7,7 @@ import (
 
 	"smartoclock/internal/lifetime"
 	"smartoclock/internal/machine"
+	"smartoclock/internal/parallel"
 	"smartoclock/internal/predict"
 	"smartoclock/internal/stats"
 	"smartoclock/internal/trace"
@@ -135,19 +136,32 @@ func Fig5(racks int, seed int64) (*Table, error) {
 	cfg.ClassMix = map[trace.ClusterClass]float64{
 		trace.HighPower: 0.2, trace.MediumPower: 0.35, trace.LowPower: 0.45,
 	}
-	fleet, err := trace.GenFleet(cfg)
-	if err != nil {
-		return nil, err
+	// Stream rack by rack: each worker generates one rack, reduces it to
+	// three stats and drops the trace, so figure-scale fleets never hold
+	// more than O(workers) racks in memory.
+	type rackStats struct {
+		a, m, p float64
+		err     error
 	}
+	outs := parallel.Map(cfg.NumRacks(), parallel.Options{Workers: cfg.Workers}, func(i int) rackStats {
+		fr, err := trace.GenFleetRack(cfg, i)
+		if err != nil {
+			return rackStats{err: err}
+		}
+		a, m, p := fr.UtilizationStats()
+		return rackStats{a: a, m: m, p: p}
+	})
 	var avgs, meds, p99s []float64
-	for _, r := range fleet.Racks {
-		a, m, p := r.UtilizationStats()
-		avgs = append(avgs, a)
-		meds = append(meds, m)
-		p99s = append(p99s, p)
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		avgs = append(avgs, o.a)
+		meds = append(meds, o.m)
+		p99s = append(p99s, o.p)
 	}
 	tbl := &Table{
-		Caption: fmt.Sprintf("Fig 5: CDF of rack power utilization across %d racks", len(fleet.Racks)),
+		Caption: fmt.Sprintf("Fig 5: CDF of rack power utilization across %d racks", cfg.NumRacks()),
 		Headers: []string{"CDF", "Average", "P50", "P99"},
 	}
 	for _, q := range []float64{10, 25, 50, 75, 90, 99} {
@@ -257,21 +271,35 @@ func Fig8(racksPerRegion int, seed int64) (*Table, error) {
 	cfg.Seed = seed
 	cfg.RacksPerRegion = racksPerRegion
 	cfg.RackTemplate.OutlierWithinDays = 14
-	fleet, err := trace.GenFleet(cfg)
-	if err != nil {
-		return nil, err
-	}
 	split := figStart.Add(14 * 24 * time.Hour)
-	byRegion := map[string][]float64{}
-	for _, r := range fleet.Racks {
-		total := r.RackPower()
+	// Stream: one rack per worker, reduced to (region, RMSE). Folding in
+	// rack-index order keeps each region's RMSE list in the exact order the
+	// materialized loop produced.
+	type rackRMSE struct {
+		region string
+		rmse   float64
+		err    error
+	}
+	outs := parallel.Map(cfg.NumRacks(), parallel.Options{Workers: cfg.Workers}, func(i int) rackRMSE {
+		fr, err := trace.GenFleetRack(cfg, i)
+		if err != nil {
+			return rackRMSE{err: err}
+		}
+		total := fr.RackPower()
 		train := total.Slice(figStart, split)
 		test := total.Slice(split, total.End())
 		ev, err := predict.Evaluate(predict.NewDailyMed(), train, test)
 		if err != nil {
-			return nil, err
+			return rackRMSE{err: err}
 		}
-		byRegion[r.Region] = append(byRegion[r.Region], ev.RMSE)
+		return rackRMSE{region: fr.Region, rmse: ev.RMSE}
+	})
+	byRegion := map[string][]float64{}
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		byRegion[o.region] = append(byRegion[o.region], o.rmse)
 	}
 	tbl := &Table{
 		Caption: "Fig 8: CDF of rack power prediction RMSE (W) per region (DailyMed)",
@@ -336,22 +364,31 @@ func Fig15(racks int, seed int64) (*Table, error) {
 	// replays them) from DailyMed (whose per-day median rejects them).
 	cfg.RackTemplate.OutlierDayProb = 0.5
 	cfg.RackTemplate.OutlierWithinDays = 7
-	fleet, err := trace.GenFleet(cfg)
-	if err != nil {
-		return nil, err
-	}
 	split := figStart.Add(7 * 24 * time.Hour)
-	errs := map[string][]float64{}
-	rmses := map[string][]float64{}
-	for _, r := range fleet.Racks {
-		total := r.RackPower()
+	// Stream: each worker generates its rack and reduces it to per-strategy
+	// evaluations; the trace is dropped before the next rack starts.
+	type rackEvals struct {
+		evs []predict.Evaluation
+		err error
+	}
+	outs := parallel.Map(cfg.NumRacks(), parallel.Options{Workers: cfg.Workers}, func(i int) rackEvals {
+		fr, err := trace.GenFleetRack(cfg, i)
+		if err != nil {
+			return rackEvals{err: err}
+		}
+		total := fr.RackPower()
 		train := total.Slice(figStart, split)
 		test := total.Slice(split, total.End())
 		evs, err := predict.EvaluateAll(train, test)
-		if err != nil {
-			return nil, err
+		return rackEvals{evs: evs, err: err}
+	})
+	errs := map[string][]float64{}
+	rmses := map[string][]float64{}
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
 		}
-		for _, ev := range evs {
+		for _, ev := range o.evs {
 			errs[ev.Strategy] = append(errs[ev.Strategy], ev.MeanErr)
 			rmses[ev.Strategy] = append(rmses[ev.Strategy], ev.RMSE)
 		}

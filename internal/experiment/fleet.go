@@ -64,6 +64,14 @@ type FleetSimConfig struct {
 	// change; the determinism and race tests set it to prove that.
 	ShuffleShards int64
 
+	// MaterializeFleet forces the pre-streaming behavior: every per-class
+	// fleet is generated eagerly up front and shards borrow the
+	// materialized racks, making memory O(fleet) instead of O(active
+	// shards). Results are byte-identical to the default streamed path —
+	// each rack is a pure function of (seed, index) — and the equivalence
+	// suite runs both to prove it. Only tests should set this.
+	MaterializeFleet bool
+
 	// Observe enables the observability layer: every shard runs with its
 	// own metrics registry and event tracer, merged in shard-index order so
 	// the combined snapshot and trace are byte-identical for any worker
@@ -292,9 +300,14 @@ type Table1Row struct {
 // overclocking at each evaluation tick: the user-facing VMs whose service
 // utilization exceeds the threshold.
 func demandSeries(st *trace.ServerTrace, cfg FleetSimConfig, evalStart time.Time, ticks int) []int {
-	out := make([]int, ticks)
-	for t := 0; t < ticks; t++ {
-		ts := evalStart.Add(time.Duration(t) * cfg.Step)
+	return fillDemand(make([]int, ticks), st, cfg, evalStart)
+}
+
+// fillDemand is demandSeries into a caller-owned buffer (len(out) ticks),
+// so shards can carve per-server demand out of one arena allocation.
+func fillDemand(out []int, st *trace.ServerTrace, cfg FleetSimConfig, start time.Time) []int {
+	for t := range out {
+		ts := start.Add(time.Duration(t) * cfg.Step)
 		demand := 0
 		for _, vm := range st.Spec.VMs {
 			switch vm.Service.Pattern {
@@ -464,11 +477,15 @@ func rackRunObserved(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConf
 			rackCfg.RestoreFraction = cfg.WarnFraction - 0.03
 		}
 	}
-	var servers []power.Server
+	// One arena allocation backs every server's demand series: the shard
+	// makes 1 slice instead of len(Servers), and the whole block frees at
+	// once when the shard ends.
+	demandArena := make([]int, len(rt.Servers)*ticks)
+	servers := make([]power.Server, 0, len(rt.Servers))
 	for i, st := range rt.Servers {
 		hosts[i] = newTraceHost(st, 0)
 		servers = append(servers, hosts[i])
-		demands[i] = demandSeries(st, cfg, evalStart, ticks)
+		demands[i] = fillDemand(demandArena[i*ticks:(i+1)*ticks:(i+1)*ticks], st, cfg, evalStart)
 	}
 	rack := power.NewRack(rackCfg, servers...)
 	rack.AttachProvenance(prov)
@@ -483,14 +500,16 @@ func rackRunObserved(rt *trace.RackTrace, sys baselines.System, cfg FleetSimConf
 		goa.Instrument(reg, tracer, shardLabels...)
 	}
 	trainEnd := evalStart
+	// Training demand is consumed immediately per server, so one scratch
+	// buffer serves every server in turn.
+	trainScratch := make([]int, cfg.TrainDays*int(24*time.Hour/cfg.Step))
 	for i, st := range rt.Servers {
 		train := st.Power.Slice(fleetStart, trainEnd)
 		powerTpl := templateFromPredictor(predictorFor(cfg.TemplateStrategy), train)
 		// Overclock template from the training week's demand (granted = 0
 		// during training: the baseline trace has no overclocking).
-		trainTicks := cfg.TrainDays * int(24*time.Hour/cfg.Step)
 		rec := predict.NewOCRecorder(fleetStart, cfg.Step)
-		trainDemand := demandSeries(st, cfg, fleetStart, trainTicks)
+		trainDemand := fillDemand(trainScratch, st, cfg, fleetStart)
 		for _, d := range trainDemand {
 			rec.Record(d, 0)
 		}
@@ -736,13 +755,55 @@ func fleetOpts(cfg FleetSimConfig) parallel.Options {
 }
 
 // table1Shard is one unit of parallel work in RunTable1: a single rack
-// simulated under a single system.
+// simulated under a single system. The shard carries the recipe for its
+// rack (fleet config + index), not the rack itself: the worker generates
+// the trace on entry and drops it on exit, so a paper-scale fleet holds
+// O(workers) rack traces in memory instead of O(fleet). rack is non-nil
+// only when cfg.MaterializeFleet pre-generated the fleet.
 type table1Shard struct {
 	class trace.ClusterClass
 	sys   baselines.System
-	rack  *trace.RackTrace
+	fcfg  trace.FleetConfig
+	// rackIdx is the rack's index within its per-class mini-fleet.
+	rackIdx int
+	rack    *trace.RackTrace
 	// cell indexes the (class, system) aggregate the shard contributes to.
 	cell int
+}
+
+// table1FleetConfig builds the per-class mini-fleet config for class index
+// ci. Each class gets its own seed stream and a single-class mix, so exact
+// class coverage is guaranteed at any scale.
+func table1FleetConfig(cfg FleetSimConfig, class trace.ClusterClass, ci int) trace.FleetConfig {
+	days := cfg.TrainDays + cfg.EvalDays
+	fcfg := trace.DefaultFleetConfig(fleetStart, time.Duration(days)*24*time.Hour)
+	fcfg.Seed = cfg.Seed + int64(ci)
+	fcfg.Regions = []string{"SimRegion"}
+	fcfg.RacksPerRegion = cfg.RacksPerClass
+	fcfg.Step = cfg.Step
+	fcfg.ClassMix = map[trace.ClusterClass]float64{class: 1}
+	fcfg.Workers = cfg.Workers
+	return fcfg
+}
+
+// shardRack returns the shard's rack trace: the materialized one when the
+// fleet was pre-generated, otherwise generated on demand from the shard's
+// (config, index) recipe — byte-identical either way, since a rack is a
+// pure function of its seed and position.
+func (s *table1Shard) shardRack() (*trace.RackTrace, error) {
+	if s.rack != nil {
+		return s.rack, nil
+	}
+	fr, err := trace.GenFleetRack(s.fcfg, s.rackIdx)
+	if err != nil {
+		return nil, err
+	}
+	if fr.Class != s.class {
+		// Single-class mixes always draw their class; anything else means
+		// the shard recipe and the generator disagree.
+		return nil, fmt.Errorf("experiment: rack %d drew class %v, want %v", s.rackIdx, fr.Class, s.class)
+	}
+	return fr.RackTrace, nil
 }
 
 // RunTable1 reproduces Table I: five systems across the three power
@@ -763,35 +824,41 @@ func RunTable1Observed(cfg FleetSimConfig) (*Table, []Table1Row, *FleetObservati
 }
 
 func runTable1(cfg FleetSimConfig) (*Table, []Table1Row, *FleetObservation, error) {
-	days := cfg.TrainDays + cfg.EvalDays
 	classes := []trace.ClusterClass{trace.HighPower, trace.MediumPower, trace.LowPower}
 	systems := baselines.All()
 
-	// Generate the per-class mini-fleets (each guarantees exact class
-	// coverage at any scale), then flatten every (class, system, rack)
-	// triple into the shard list.
+	// Flatten every (class, system, rack) triple into the shard list. Each
+	// per-class mini-fleet has a single-class mix, so it guarantees exact
+	// class coverage at any scale. By default no trace is generated here:
+	// shards stream their racks inside the worker (memory O(active
+	// shards)); MaterializeFleet pre-generates everything for the
+	// streamed-vs-materialized equivalence suite.
 	var shards []table1Shard
 	racksPerClass := make([]int, len(classes))
 	for ci, class := range classes {
-		fcfg := trace.DefaultFleetConfig(fleetStart, time.Duration(days)*24*time.Hour)
-		fcfg.Seed = cfg.Seed + int64(ci)
-		fcfg.Regions = []string{"SimRegion"}
-		fcfg.RacksPerRegion = cfg.RacksPerClass
-		fcfg.Step = cfg.Step
-		fcfg.ClassMix = map[trace.ClusterClass]float64{class: 1}
-		fcfg.Workers = cfg.Workers
-		fleet, err := trace.GenFleet(fcfg)
-		if err != nil {
-			return nil, nil, nil, err
+		fcfg := table1FleetConfig(cfg, class, ci)
+		racksPerClass[ci] = fcfg.NumRacks()
+		var racks []*trace.FleetRack
+		if cfg.MaterializeFleet {
+			fleet, err := trace.GenFleet(fcfg)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			racks = fleet.ByClass(class)
+			if len(racks) != fcfg.NumRacks() {
+				return nil, nil, nil, fmt.Errorf("experiment: class %v drew %d racks, want %d", class, len(racks), fcfg.NumRacks())
+			}
 		}
-		racks := fleet.ByClass(class)
-		racksPerClass[ci] = len(racks)
 		for si, sys := range systems {
-			for _, fr := range racks {
-				shards = append(shards, table1Shard{
-					class: class, sys: sys, rack: fr.RackTrace,
+			for ri := 0; ri < fcfg.NumRacks(); ri++ {
+				sh := table1Shard{
+					class: class, sys: sys, fcfg: fcfg, rackIdx: ri,
 					cell: ci*len(systems) + si,
-				})
+				}
+				if racks != nil {
+					sh.rack = racks[ri].RackTrace
+				}
+				shards = append(shards, sh)
 			}
 		}
 	}
@@ -803,11 +870,21 @@ func runTable1(cfg FleetSimConfig) (*Table, []Table1Row, *FleetObservation, erro
 		tr   *obs.Tracer
 		rec  *metrics.Recording
 		prov *causal.Log
+		err  error
 	}
 	results := parallel.Map(len(shards), fleetOpts(cfg), func(i int) shardResult {
-		m, snap, tr, rec, prov := rackRunObserved(shards[i].rack, shards[i].sys, cfg, shards[i].class.String(), i)
+		rt, err := shards[i].shardRack()
+		if err != nil {
+			return shardResult{err: err}
+		}
+		m, snap, tr, rec, prov := rackRunObserved(rt, shards[i].sys, cfg, shards[i].class.String(), i)
 		return shardResult{m: m, snap: snap, tr: tr, rec: rec, prov: prov}
 	})
+	for _, r := range results {
+		if r.err != nil {
+			return nil, nil, nil, r.err
+		}
+	}
 
 	// Reduce in shard order: shards are grouped by cell, so this fold
 	// visits each cell's racks in generation order, exactly like the old
@@ -824,7 +901,13 @@ func runTable1(cfg FleetSimConfig) (*Table, []Table1Row, *FleetObservation, erro
 			tracers[i] = r.tr
 			recs[i] = r.rec
 		}
-		prov := &causal.Log{}
+		total := 0
+		for _, r := range results {
+			if r.prov != nil {
+				total += len(r.prov.Records)
+			}
+		}
+		prov := &causal.Log{Records: make([]causal.Record, 0, total)}
 		for _, r := range results {
 			if r.prov != nil {
 				prov.Records = append(prov.Records, r.prov.Records...)

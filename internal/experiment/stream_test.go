@@ -1,0 +1,138 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"smartoclock/internal/trace"
+)
+
+// The streamed fleet path generates each shard's rack trace inside the
+// worker instead of materializing the whole fleet up front. Because a rack
+// is a pure function of (seed, rack index), both paths must produce
+// byte-identical output — this suite pins that equivalence for the Table I
+// rows, the merged metrics snapshot, the recorded series, the event trace
+// and the provenance log, across worker counts and shuffled dispatch.
+
+// renderObserved serializes every byte-deterministic artifact of an
+// observed Table I run into one comparable string.
+func renderObserved(t *testing.T, cfg FleetSimConfig) string {
+	t.Helper()
+	tbl, rows, observation, err := RunTable1Observed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observation == nil || observation.Metrics == nil {
+		t.Fatal("observed run returned no telemetry")
+	}
+	var b strings.Builder
+	b.WriteString(tbl.Format())
+	b.WriteString("--- rows ---\n")
+	fmt.Fprintf(&b, "%+v\n", rows)
+	b.WriteString("--- metrics ---\n")
+	if err := observation.Metrics.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString("--- trace ---\n")
+	if err := observation.Trace.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString("--- provenance ---\n")
+	if err := observation.Provenance.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString("--- recording ---\n")
+	rec, err := json.Marshal(observation.Series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Write(rec)
+	return b.String()
+}
+
+// TestStreamedMatchesMaterializedTable1 is the core equivalence claim:
+// identical bytes whether shards stream their racks or borrow them from a
+// pre-generated fleet, at workers 1/2/8 and under shuffled dispatch, for
+// two seeds.
+func TestStreamedMatchesMaterializedTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet simulations x16")
+	}
+	type variant struct {
+		workers int
+		shuffle int64
+	}
+	variants := []variant{{1, 0}, {2, 0}, {8, 0}, {8, 31415}}
+	for _, seed := range []int64{1, 2} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			var ref string
+			for _, v := range variants {
+				cfg := smokeFleetCfg()
+				cfg.Seed = seed
+				cfg.Workers = v.workers
+				cfg.ShuffleShards = v.shuffle
+				cfg.RecordEvery = 2 * cfg.Step
+
+				cfg.MaterializeFleet = false
+				streamed := renderObserved(t, cfg)
+				cfg.MaterializeFleet = true
+				materialized := renderObserved(t, cfg)
+
+				if streamed != materialized {
+					t.Fatalf("workers=%d shuffle=%d: streamed and materialized output differ (len %d vs %d)",
+						v.workers, v.shuffle, len(streamed), len(materialized))
+				}
+				// Every variant must also agree with every other: the
+				// streamed path keeps the cross-worker determinism contract.
+				if ref == "" {
+					ref = streamed
+				} else if streamed != ref {
+					t.Fatalf("workers=%d shuffle=%d diverges from workers=1", v.workers, v.shuffle)
+				}
+			}
+		})
+	}
+}
+
+// TestGenFleetRackMatchesGenFleet pins the generator-level identity the
+// streamed path is built on: rack i of a materialized fleet equals
+// GenFleetRack(cfg, i), byte for byte, for a multi-region mixed-class
+// config.
+func TestGenFleetRackMatchesGenFleet(t *testing.T) {
+	fcfg := trace.DefaultFleetConfig(fleetStart, 48*time.Hour)
+	fcfg.Seed = 7
+	fcfg.RacksPerRegion = 3
+	fleet, err := trace.GenFleet(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet.Racks) != fcfg.NumRacks() {
+		t.Fatalf("fleet has %d racks, want %d", len(fleet.Racks), fcfg.NumRacks())
+	}
+	for i, want := range fleet.Racks {
+		got, err := trace.GenFleetRack(fcfg, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Region != want.Region || got.Class != want.Class || got.Name != want.Name {
+			t.Fatalf("rack %d identity mismatch: %s/%v/%s vs %s/%v/%s",
+				i, got.Region, got.Class, got.Name, want.Region, want.Class, want.Name)
+		}
+		gj, _ := json.Marshal(got.RackTrace)
+		wj, _ := json.Marshal(want.RackTrace)
+		if string(gj) != string(wj) {
+			t.Fatalf("rack %d trace differs between streamed and materialized generation", i)
+		}
+	}
+	// Out-of-range indices are errors, not panics.
+	if _, err := trace.GenFleetRack(fcfg, fcfg.NumRacks()); err == nil {
+		t.Error("GenFleetRack accepted an out-of-range index")
+	}
+	if _, err := trace.GenFleetRack(fcfg, -1); err == nil {
+		t.Error("GenFleetRack accepted a negative index")
+	}
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -293,21 +294,32 @@ func RunZooCell(cfg ZooConfig, f policy.Factory, sc trace.ZooScenario, seed int6
 		// event's provenance span (assigned by the rack's recorder) rides
 		// each relayed message so sOA setbacks chain back to the event.
 		zr.rack.AttachProvenance(prov)
+		// The payload is identical per recipient: encode once, stamp each
+		// copy with its own provenance span (spans are drawn in server order,
+		// exactly like the unbatched loop) and cross the transport in one
+		// batched call. Scratch is reused across events; the zoo runs on the
+		// single engine goroutine.
+		var rackEventBatch []agent.Message
 		zr.rack.Subscribe(func(ev power.Event) {
-			payload := rackEventMsg{Kind: int(ev.Kind), Power: ev.Power, Limit: ev.Limit}
-			for _, zs := range zr.servers {
-				if msg, err := agent.NewMessage("rack.event", zr.name, zs.agentID, payload); err == nil {
-					msg.Span = uint64(prov.Emit(causal.Record{
-						Parent:    causal.SpanID(ev.Span),
-						Time:      ev.Time,
-						Kind:      causal.KindMessage,
-						Component: "rack",
-						Site:      "msg.rack.event",
-						Subject:   zs.agentID,
-					}))
-					_ = tr.Send(msg)
-				}
+			payload, err := json.Marshal(rackEventMsg{Kind: int(ev.Kind), Power: ev.Power, Limit: ev.Limit})
+			if err != nil {
+				return
 			}
+			batch := rackEventBatch[:0]
+			for _, zs := range zr.servers {
+				msg := agent.Message{Type: "rack.event", From: zr.name, To: zs.agentID, Payload: payload}
+				msg.Span = uint64(prov.Emit(causal.Record{
+					Parent:    causal.SpanID(ev.Span),
+					Time:      ev.Time,
+					Kind:      causal.KindMessage,
+					Component: "rack",
+					Site:      "msg.rack.event",
+					Subject:   zs.agentID,
+				}))
+				batch = append(batch, msg)
+			}
+			rackEventBatch = batch
+			_ = agent.SendAll(tr, batch)
 		})
 
 		// gOA inbox.
@@ -364,9 +376,13 @@ func RunZooCell(cfg ZooConfig, f policy.Factory, sc trace.ZooScenario, seed int6
 			})
 		}
 
-		// gOA → sOA budget pushes.
+		// gOA → sOA budget pushes, batched per tick: provenance spans are
+		// drawn in server order as the batch builds, then the burst crosses
+		// the transport in one call — byte-identical to per-message sends.
+		var budgetBatch []agent.Message
 		eng.Every(cfg.Start.Add(cfg.BudgetEvery), cfg.BudgetEvery, func(now time.Time) {
 			budgets := zr.goa.BudgetsAt(now)
+			batch := budgetBatch[:0]
 			for _, zs := range zr.servers {
 				b, ok := budgets[zs.srv.Name()]
 				if !ok || b <= 0 {
@@ -374,9 +390,11 @@ func RunZooCell(cfg ZooConfig, f policy.Factory, sc trace.ZooScenario, seed int6
 				}
 				if msg, err := agent.NewMessage("goa.budget", goaID, zs.agentID, budgetMsg{Watts: b}); err == nil {
 					msg.Span = zr.goa.ProvenanceBroadcast(now, zs.srv.Name(), b)
-					_ = tr.Send(msg)
+					batch = append(batch, msg)
 				}
 			}
+			budgetBatch = batch
+			_ = agent.SendAll(tr, batch)
 		})
 
 		// Invariants: the zoo's bar is all of them, every tick.

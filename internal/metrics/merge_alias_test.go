@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// The observed fleet path merges thousands of per-shard snapshots and
+// recordings, then drops the shards and retains only the merged result. A
+// shallow copy of any reference field (Labels, Uppers, Samples, ...) would
+// keep every shard's memory reachable through the merge output — these
+// tests pin the deep-copy contract.
+
+func TestMergeDoesNotAliasInputs(t *testing.T) {
+	in := &Snapshot{Series: []Series{
+		{
+			Name: "caps_total", Type: "counter",
+			Labels: map[string]string{"rack": "r0"},
+			Value:  3,
+		},
+		{
+			Name: "tick_ms", Type: "histogram",
+			Labels: map[string]string{"rack": "r0"},
+			Value:  10, Count: 4,
+			Buckets: []Bucket{{LE: 1, Count: 1}, {LE: 5, Count: 3}},
+		},
+	}}
+	merged := Merge(in)
+	if len(merged.Series) != 2 {
+		t.Fatalf("merged %d series, want 2", len(merged.Series))
+	}
+	// Mutating the input after the merge must not change the output.
+	in.Series[0].Labels["rack"] = "mutated"
+	in.Series[1].Buckets[0].Count = 99
+	for _, sr := range merged.Series {
+		if got := sr.Labels["rack"]; got != "r0" {
+			t.Errorf("%s: merged labels alias input: rack = %q", sr.Name, got)
+		}
+	}
+	for _, sr := range merged.Series {
+		if sr.Type == "histogram" && sr.Buckets[0].Count != 1 {
+			t.Errorf("merged buckets alias input: count = %d", sr.Buckets[0].Count)
+		}
+	}
+}
+
+func TestMergeRecordingsDoesNotAliasInputs(t *testing.T) {
+	start := time.Unix(0, 0).UTC()
+	in := &Recording{Start: start, Step: time.Minute, Series: []RecordedSeries{
+		{
+			Name: "tick_ms", Type: "histogram",
+			Labels:      map[string]string{"rack": "r0"},
+			Samples:     []float64{1, 2},
+			Uppers:      []float64{1, 5},
+			Buckets:     [][]uint64{{1, 0}, {0, 1}},
+			Sums:        []float64{0.5, 4},
+			CountDeltas: []uint64{1, 1},
+		},
+	}}
+	merged := MergeRecordings(in)
+	if len(merged.Series) != 1 {
+		t.Fatalf("merged %d series, want 1", len(merged.Series))
+	}
+	in.Series[0].Labels["rack"] = "mutated"
+	in.Series[0].Uppers[0] = -1
+	in.Series[0].Samples[0] = -1
+	in.Series[0].Buckets[0][0] = 99
+	in.Series[0].Sums[0] = -1
+	in.Series[0].CountDeltas[0] = 99
+	sr := merged.Series[0]
+	if sr.Labels["rack"] != "r0" {
+		t.Errorf("merged labels alias input: rack = %q", sr.Labels["rack"])
+	}
+	if sr.Uppers[0] != 1 {
+		t.Errorf("merged uppers alias input: %v", sr.Uppers[0])
+	}
+	if sr.Samples[0] != 1 || sr.Buckets[0][0] != 1 || sr.Sums[0] != 0.5 || sr.CountDeltas[0] != 1 {
+		t.Errorf("merged samples alias input: %+v", sr)
+	}
+}
+
+// TestMergeRecordingsReleasesShardBuffers is the bytes-retained regression
+// test: a merged recording whose series are subslices of huge shard
+// buffers must not keep those buffers alive once the shards are dropped.
+func TestMergeRecordingsReleasesShardBuffers(t *testing.T) {
+	const shardBuf = 1 << 22 // 4M float64 = 32 MiB per shard backing array
+	const shards = 4
+	start := time.Unix(0, 0).UTC()
+
+	mkShard := func(i int) *Recording {
+		// The recorded series views only the first 8 samples, but its
+		// backing array — like a shard arena would — is 32 MiB.
+		backing := make([]float64, shardBuf)
+		for j := range backing {
+			backing[j] = float64(i + j)
+		}
+		uppers := make([]float64, shardBuf)
+		uppers[0], uppers[1] = 1, 5
+		return &Recording{Start: start, Step: time.Minute, Series: []RecordedSeries{
+			{
+				Name: "tick_ms", Type: "histogram",
+				Labels:      map[string]string{"shard": string(rune('a' + i))},
+				Samples:     backing[:8:8],
+				Uppers:      uppers[:2], // subslice aliasing the huge array
+				Buckets:     [][]uint64{{1, 0}, {0, 1}, {1, 1}, {0, 0}, {1, 0}, {0, 1}, {1, 1}, {0, 0}},
+				Sums:        backing[8:16:16],
+				CountDeltas: []uint64{1, 1, 1, 1, 1, 1, 1, 1},
+			},
+		}}
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	var merged *Recording
+	func() {
+		recs := make([]*Recording, shards)
+		for i := range recs {
+			recs[i] = mkShard(i)
+		}
+		merged = MergeRecordings(recs...)
+	}()
+
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	retained := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	// The shard backings total shards * 2 * 32 MiB. The merged recording
+	// itself is tiny; allow 8 MiB of slack for allocator noise.
+	const budget = 8 << 20
+	if retained > budget {
+		t.Errorf("merge retained %d bytes of shard buffers (budget %d): merged output aliases shard memory", retained, budget)
+	}
+	if len(merged.Series) != shards {
+		t.Fatalf("merged %d series, want %d", len(merged.Series), shards)
+	}
+	if merged.Series[0].Samples[0] != 0 {
+		t.Fatalf("merged sample corrupted: %v", merged.Series[0].Samples[0])
+	}
+}

@@ -323,7 +323,14 @@ func MergeRecordings(recs ...*Recording) *Recording {
 			id := sr.id()
 			prev, ok := merged[id]
 			if !ok {
+				// Deep-copy every reference field — including Labels and
+				// Uppers, which a shallow copy would alias. A merged
+				// recording that outlives its shards must not pin their
+				// backing arrays (the merge result is often retained long
+				// after the per-shard recordings are dropped).
 				cp := *sr
+				cp.Labels = cloneLabels(sr.Labels)
+				cp.Uppers = append([]float64(nil), sr.Uppers...)
 				cp.Samples = append([]float64(nil), sr.Samples...)
 				cp.Sums = append([]float64(nil), sr.Sums...)
 				cp.CountDeltas = append([]uint64(nil), sr.CountDeltas...)

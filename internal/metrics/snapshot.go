@@ -202,6 +202,18 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 // order, so merge output is deterministic too). Series present in only some
 // snapshots pass through. Mismatched histogram layouts for the same
 // identity are a programming error and panic.
+// cloneLabels returns an independent copy of a label map (nil stays nil).
+func cloneLabels(labels map[string]string) map[string]string {
+	if labels == nil {
+		return nil
+	}
+	cp := make(map[string]string, len(labels))
+	for k, v := range labels {
+		cp[k] = v
+	}
+	return cp
+}
+
 func Merge(snaps ...*Snapshot) *Snapshot {
 	merged := make(map[string]*Series)
 	for _, snap := range snaps {
@@ -213,7 +225,11 @@ func Merge(snaps ...*Snapshot) *Snapshot {
 			id := sr.id()
 			prev, ok := merged[id]
 			if !ok {
+				// Deep-copy every reference field: the merged snapshot must
+				// not alias input memory, or one retained merge result keeps
+				// whole shard snapshots (and their backing buffers) alive.
 				cp := sr
+				cp.Labels = cloneLabels(sr.Labels)
 				cp.Buckets = append([]Bucket(nil), sr.Buckets...)
 				merged[id] = &cp
 				continue

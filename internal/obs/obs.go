@@ -211,6 +211,13 @@ func (t *Tracer) Append(other *Tracer) {
 // entries are skipped.
 func Concat(tracers ...*Tracer) *Tracer {
 	out := New()
+	// One right-sized allocation instead of O(log n) regrowths while
+	// appending thousands of shard traces at fleet scale.
+	total := 0
+	for _, tr := range tracers {
+		total += tr.Len()
+	}
+	out.events = make([]Event, 0, total)
 	for _, tr := range tracers {
 		out.Append(tr)
 	}

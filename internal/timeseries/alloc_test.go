@@ -1,0 +1,55 @@
+package timeseries
+
+import (
+	"testing"
+	"time"
+)
+
+// The trace generator's per-tick loop appends one sample per tick into
+// series whose length is known up front. These guards pin the preallocation
+// contract: a NewWithCap series absorbs its full tick count with zero
+// reallocation, so the hot path never regrows.
+
+func TestNewWithCapAppendNoRegrowth(t *testing.T) {
+	start := time.Unix(0, 0).UTC()
+	const steps = 4096
+	allocs := testing.AllocsPerRun(20, func() {
+		s := NewWithCap(start, time.Minute, steps)
+		for i := 0; i < steps; i++ {
+			s.Append(float64(i))
+		}
+		if s.Len() != steps {
+			t.Fatalf("len = %d", s.Len())
+		}
+	})
+	// One allocation for the Series struct, one for the Values backing
+	// array — and nothing from the 4096 appends.
+	if allocs > 2 {
+		t.Errorf("prealloc'd append path allocated %.0f times per run, want <= 2", allocs)
+	}
+}
+
+func TestGrow(t *testing.T) {
+	start := time.Unix(0, 0).UTC()
+	s := New(start, time.Minute)
+	s.Append(1)
+	s.Grow(100)
+	if cap(s.Values)-len(s.Values) < 100 {
+		t.Fatalf("Grow(100) left headroom %d", cap(s.Values)-len(s.Values))
+	}
+	if s.Len() != 1 || s.Values[0] != 1 {
+		t.Fatalf("Grow corrupted values: %v", s.Values)
+	}
+	// Growing into existing headroom must not reallocate.
+	base := &s.Values[0]
+	s.Grow(50)
+	if &s.Values[0] != base {
+		t.Error("Grow reallocated despite sufficient capacity")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		s.Grow(10) // headroom exists: no allocation
+	})
+	if allocs != 0 {
+		t.Errorf("no-op Grow allocated %.0f times", allocs)
+	}
+}

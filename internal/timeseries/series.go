@@ -30,6 +30,28 @@ func New(start time.Time, step time.Duration) *Series {
 	return &Series{Start: start, Step: step}
 }
 
+// NewWithCap creates an empty series with room for n samples, so a caller
+// that knows its tick count up front can Append n times without a single
+// reallocation on the hot path.
+func NewWithCap(start time.Time, step time.Duration, n int) *Series {
+	s := New(start, step)
+	if n > 0 {
+		s.Values = make([]float64, 0, n)
+	}
+	return s
+}
+
+// Grow ensures capacity for at least n more samples beyond the current
+// length, reallocating at most once.
+func (s *Series) Grow(n int) {
+	if n <= 0 || cap(s.Values)-len(s.Values) >= n {
+		return
+	}
+	grown := make([]float64, len(s.Values), len(s.Values)+n)
+	copy(grown, s.Values)
+	s.Values = grown
+}
+
 // FromValues creates a series from existing samples. The slice is used
 // directly (not copied).
 func FromValues(start time.Time, step time.Duration, values []float64) *Series {

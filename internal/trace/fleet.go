@@ -123,24 +123,25 @@ func (f *Fleet) ByRegion(region string) []*FleetRack {
 	return out
 }
 
-// GenFleet generates a deterministic fleet of rack traces.
-//
-// Every rack owns an independent random stream seeded from (cfg.Seed,
-// global rack index) via parallel.ChildSeed, so rack i's trace — and its
-// class draw — is a pure function of the seed and its position: adding
-// racks, removing regions, or generating across any number of workers
-// never perturbs the racks that remain.
-func GenFleet(cfg FleetConfig) (*Fleet, error) {
-	if len(cfg.Regions) == 0 || cfg.RacksPerRegion <= 0 {
-		return nil, fmt.Errorf("trace: empty fleet config")
-	}
+// NumRacks returns the fleet's total rack count (regions x racks/region).
+func (c FleetConfig) NumRacks() int {
+	return len(c.Regions) * c.RacksPerRegion
+}
 
-	// Normalize the class mix into cumulative weights.
-	classes := []ClusterClass{HighPower, MediumPower, LowPower}
-	var weights []float64
-	var totalW float64
-	for _, c := range classes {
-		w := cfg.ClassMix[c]
+// validate reports whether the fleet-level shape is usable.
+func (c FleetConfig) validate() error {
+	if len(c.Regions) == 0 || c.RacksPerRegion <= 0 {
+		return fmt.Errorf("trace: empty fleet config")
+	}
+	return nil
+}
+
+// classWeights normalizes the class mix into per-class weights plus their
+// total, defaulting to an even mix when unset.
+func (c FleetConfig) classWeights() (classes []ClusterClass, weights []float64, totalW float64) {
+	classes = []ClusterClass{HighPower, MediumPower, LowPower}
+	for _, cl := range classes {
+		w := c.ClassMix[cl]
 		if w < 0 {
 			w = 0
 		}
@@ -151,38 +152,73 @@ func GenFleet(cfg FleetConfig) (*Fleet, error) {
 		weights = []float64{1, 1, 1}
 		totalW = 3
 	}
+	return classes, weights, totalW
+}
+
+// GenFleetRack generates rack idx (0 <= idx < cfg.NumRacks()) of the fleet
+// described by cfg, without materializing any sibling. The rack's random
+// stream is seeded from (cfg.Seed, idx) via parallel.ChildSeed, so the
+// result is a pure function of the config and the index: GenFleet(cfg) is
+// exactly [GenFleetRack(cfg, 0), ..., GenFleetRack(cfg, n-1)], and callers
+// that can fold racks one at a time get memory O(1 rack) instead of
+// O(fleet).
+func GenFleetRack(cfg FleetConfig, idx int) (*FleetRack, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if idx < 0 || idx >= cfg.NumRacks() {
+		return nil, fmt.Errorf("trace: rack index %d out of range [0,%d)", idx, cfg.NumRacks())
+	}
+	classes, weights, totalW := cfg.classWeights()
+
+	region := cfg.Regions[idx/cfg.RacksPerRegion]
+	i := idx % cfg.RacksPerRegion
+	rng := rand.New(rand.NewSource(parallel.ChildSeed(cfg.Seed, uint64(idx))))
+
+	// Deterministic class draw from the rack's own stream.
+	x := rng.Float64() * totalW
+	class := classes[len(classes)-1]
+	for k, w := range weights {
+		if x < w {
+			class = classes[k]
+			break
+		}
+		x -= w
+	}
+	rcfg := cfg.RackTemplate
+	rcfg.Name = fmt.Sprintf("%s-rack%03d", region, i)
+	rcfg.Start = cfg.Start
+	rcfg.Step = cfg.Step
+	rcfg.Duration = cfg.Duration
+	rcfg.TargetP99Util = class.TargetP99Util()
+	rack, err := GenRack(rcfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &FleetRack{RackTrace: rack, Region: region, Class: class}, nil
+}
+
+// GenFleet generates a deterministic fleet of rack traces.
+//
+// Every rack owns an independent random stream seeded from (cfg.Seed,
+// global rack index) via parallel.ChildSeed, so rack i's trace — and its
+// class draw — is a pure function of the seed and its position: adding
+// racks, removing regions, or generating across any number of workers
+// never perturbs the racks that remain. GenFleet materializes the whole
+// fleet; memory-bound callers should stream racks via GenFleetRack instead.
+func GenFleet(cfg FleetConfig) (*Fleet, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 
 	type rackOut struct {
 		rack *FleetRack
 		err  error
 	}
-	n := len(cfg.Regions) * cfg.RacksPerRegion
+	n := cfg.NumRacks()
 	outs := parallel.Map(n, parallel.Options{Workers: cfg.Workers}, func(idx int) rackOut {
-		region := cfg.Regions[idx/cfg.RacksPerRegion]
-		i := idx % cfg.RacksPerRegion
-		rng := rand.New(rand.NewSource(parallel.ChildSeed(cfg.Seed, uint64(idx))))
-
-		// Deterministic class draw from the rack's own stream.
-		x := rng.Float64() * totalW
-		class := classes[len(classes)-1]
-		for k, w := range weights {
-			if x < w {
-				class = classes[k]
-				break
-			}
-			x -= w
-		}
-		rcfg := cfg.RackTemplate
-		rcfg.Name = fmt.Sprintf("%s-rack%03d", region, i)
-		rcfg.Start = cfg.Start
-		rcfg.Step = cfg.Step
-		rcfg.Duration = cfg.Duration
-		rcfg.TargetP99Util = class.TargetP99Util()
-		rack, err := GenRack(rcfg, rng)
-		if err != nil {
-			return rackOut{err: err}
-		}
-		return rackOut{rack: &FleetRack{RackTrace: rack, Region: region, Class: class}}
+		rack, err := GenFleetRack(cfg, idx)
+		return rackOut{rack: rack, err: err}
 	})
 
 	fleet := &Fleet{Racks: make([]*FleetRack, 0, n)}

@@ -206,7 +206,7 @@ func GenRack(cfg RackGenConfig, rng *rand.Rand) (*RackTrace, error) {
 		return nil, err
 	}
 	steps := int(cfg.Duration / cfg.Step)
-	rack := &RackTrace{Name: cfg.Name}
+	rack := &RackTrace{Name: cfg.Name, Servers: make([]*ServerTrace, 0, cfg.Servers)}
 
 	// Optional outlier day for the whole rack (a holiday, an incident).
 	outlierDay := -1
@@ -222,8 +222,10 @@ func GenRack(cfg RackGenConfig, rng *rand.Rand) (*RackTrace, error) {
 
 	for i := 0; i < cfg.Servers; i++ {
 		spec := GenServerSpec(cfg, fmt.Sprintf("%s-s%02d", cfg.Name, i), rng)
-		util := timeseries.New(cfg.Start, cfg.Step)
-		power := timeseries.New(cfg.Start, cfg.Step)
+		// The tick count is known up front: sizing both series here keeps
+		// the per-tick loop below allocation-free (guarded by AllocsPerRun).
+		util := timeseries.NewWithCap(cfg.Start, cfg.Step, steps)
+		power := timeseries.NewWithCap(cfg.Start, cfg.Step, steps)
 		for j := 0; j < steps; j++ {
 			ts := cfg.Start.Add(time.Duration(j) * cfg.Step)
 			u := spec.UtilAt(ts, rng)
